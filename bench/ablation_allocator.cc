@@ -1,0 +1,77 @@
+// Ablation: device-memory allocator fit policy (first-fit vs best-fit).
+//
+// DESIGN.md calls the allocator choice out as a modeled component of the
+// substrate: the CUDA driver's suballocator behaviour affects when a
+// *granted* allocation can still fail on the device (fragmentation), which
+// is exactly the alloc_abort path in the wrapper. This ablation measures
+// allocation throughput and fragmentation under churn for both policies.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "cudasim/mem_allocator.h"
+
+namespace convgpu::cudasim {
+namespace {
+
+using convgpu::Bytes;
+using namespace convgpu::literals;
+
+void ChurnWorkload(benchmark::State& state, FitPolicy policy) {
+  const Bytes capacity = 1_GiB;
+  Rng rng(42);
+  std::int64_t failures = 0;
+  double fragmentation_sum = 0;
+  std::int64_t fragmentation_samples = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    DeviceMemoryAllocator alloc(capacity, 256, policy);
+    std::vector<DevicePtr> live;
+    live.reserve(4096);
+    state.ResumeTiming();
+
+    for (int step = 0; step < 4000; ++step) {
+      const bool do_alloc = live.empty() || rng.UniformBelow(100) < 58;
+      if (do_alloc) {
+        // Mixed sizes: mostly small tensors, occasional big activations.
+        const Bytes size = rng.UniformBelow(20) == 0
+                               ? rng.UniformInRange(8, 64) * kMiB
+                               : rng.UniformInRange(4, 512) * kKiB;
+        auto p = alloc.Allocate(size);
+        if (p.ok()) {
+          live.push_back(*p);
+        } else {
+          ++failures;
+        }
+      } else {
+        const auto index = rng.UniformBelow(live.size());
+        (void)alloc.Free(live[index]);
+        live[index] = live.back();
+        live.pop_back();
+      }
+    }
+    fragmentation_sum += alloc.FragmentationRatio();
+    ++fragmentation_samples;
+  }
+  state.counters["oom_events"] =
+      benchmark::Counter(static_cast<double>(failures));
+  state.counters["avg_fragmentation"] = benchmark::Counter(
+      fragmentation_sum / static_cast<double>(fragmentation_samples));
+}
+
+void BM_Allocator_first_fit(benchmark::State& state) {
+  ChurnWorkload(state, FitPolicy::kFirstFit);
+}
+void BM_Allocator_best_fit(benchmark::State& state) {
+  ChurnWorkload(state, FitPolicy::kBestFit);
+}
+
+BENCHMARK(BM_Allocator_first_fit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Allocator_best_fit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace convgpu::cudasim
+
+BENCHMARK_MAIN();

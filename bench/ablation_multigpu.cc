@@ -1,0 +1,73 @@
+// Ablation: multi-GPU placement policies (the paper's §V future work).
+//
+// The Table III workload at fixed load per GPU, over 1/2/4 devices and the
+// three placement policies. Shows (a) near-linear scaling of finish time
+// with added GPUs, and (b) how placement quality separates the policies
+// once devices can be mismatched.
+#include <cstdio>
+
+#include "workload/des.h"
+
+int main(int argc, char** argv) {
+  using namespace convgpu;
+  using namespace convgpu::workload;
+
+  int repetitions = 4;
+  if (argc > 1) repetitions = std::max(1, std::atoi(argv[1]));
+
+  const PlacementPolicy placements[] = {PlacementPolicy::kMostFree,
+                                        PlacementPolicy::kBestFit,
+                                        PlacementPolicy::kRoundRobin};
+
+  std::printf(
+      "Ablation — multi-GPU placement (finish time s / avg suspended s), "
+      "%d-run average, 12 containers per GPU\n\n",
+      repetitions);
+  std::printf("%-6s %-6s", "gpus", "N");
+  for (auto placement : placements) {
+    std::printf("%22s", std::string(PlacementPolicyName(placement)).c_str());
+  }
+  std::printf("\n");
+
+  for (int gpus : {1, 2, 4}) {
+    const int containers = 12 * gpus;
+    std::printf("%-6d %-6d", gpus, containers);
+    for (auto placement : placements) {
+      double finish = 0;
+      double suspended = 0;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        MultiGpuSimConfig config;
+        config.num_gpus = gpus;
+        config.num_containers = containers;
+        // Arrival rate scales with the fleet so per-GPU offered load is
+        // constant across rows.
+        config.spawn_interval = Seconds(5.0 / gpus);
+        config.placement = placement;
+        config.policy = "BF";
+        config.seed = 2000 + static_cast<std::uint64_t>(containers + rep);
+        auto result = RunMultiGpuSimulation(config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "simulation failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        finish += ToSeconds(result->finished_time) / repetitions;
+        suspended += ToSeconds(result->avg_suspended_time) / repetitions;
+      }
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.0f / %.0f", finish, suspended);
+      std::printf("%22s", cell);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: per-GPU offered load is constant, so growth beyond the "
+      "1-GPU row is queueing, not scaling failure. On a HOMOGENEOUS fleet "
+      "round-robin tends to win: greedy free-pool policies herd consecutive "
+      "arrivals onto whichever device momentarily has the most (or "
+      "tightest) room, while round-robin spreads them. Greedy placement "
+      "pays off on heterogeneous fleets (see examples/multi_gpu.cpp, where "
+      "best-fit keeps the 12 GiB device free for 8 GiB jobs).\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Ablation: IPC transport for the wrapper↔scheduler round trip.
+//
+// The paper (§III-A) chose UNIX domain sockets over TCP ("complexity and
+// low performance") and over shared memory / files (interceptable by third
+// parties). This ablation quantifies the latency side of that decision:
+// one full alloc_request admission round trip over
+//   * direct      — in-process function call (lower bound, no isolation)
+//   * unix socket — the paper's choice
+//   * tcp         — loopback TCP with TCP_NODELAY
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "ipc/framing.h"
+#include "ipc/socket.h"
+
+namespace convgpu::bench {
+namespace {
+
+protocol::Message AllocMessage() {
+  protocol::AllocRequest request;
+  request.container_id = "bench";
+  request.pid = 1;
+  request.size = 1 * kMiB;
+  request.api = "cudaMalloc";
+  return protocol::Message(request);
+}
+
+void RoundTrip(benchmark::State& state, SchedulerLink& link,
+               SchedulerCore& core) {
+  const protocol::Message request = AllocMessage();
+  protocol::AllocAbort abort;
+  abort.container_id = "bench";
+  abort.pid = 1;
+  abort.size = 1 * kMiB;
+  const protocol::Message rollback(abort);
+  for (auto _ : state) {
+    auto reply = link.Call(request);
+    if (!reply.ok() || !std::get<protocol::AllocReply>(*reply).granted) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+    state.PauseTiming();
+    (void)link.Notify(rollback);
+    // Notifications are async on the socket paths: wait for the rollback
+    // to land so admissions never pile up and start suspending.
+    while (core.StatsFor("bench")->used != 66 * kMiB) {
+      std::this_thread::yield();
+    }
+    state.ResumeTiming();
+  }
+}
+
+void BM_Transport_direct(benchmark::State& state) {
+  SchedulerOptions options;
+  options.capacity = 5 * kGiB;
+  SchedulerCore core(options);
+  (void)core.RegisterContainer("bench", 4 * kGiB);
+  DirectSchedulerLink link(&core, "bench");
+  // Prime the per-pid overhead so every iteration is steady-state.
+  auto reply = link.Call(AllocMessage());
+  if (reply.ok()) {
+    protocol::AllocAbort abort;
+    abort.container_id = "bench";
+    abort.pid = 1;
+    abort.size = 1 * kMiB;
+    (void)link.Notify(protocol::Message(abort));
+  }
+  RoundTrip(state, link, core);
+}
+
+void BM_Transport_unix_socket(benchmark::State& state) {
+  static PaperTestbed testbed("abl-unix", 4 * kGiB);
+  static auto link = [] {
+    auto connected = SocketSchedulerLink::Connect(
+        testbed.server().container_socket_path("bench"));
+    if (!connected.ok()) std::abort();
+    // Prime overhead accounting.
+    auto reply = (*connected)->Call(AllocMessage());
+    if (reply.ok()) {
+      protocol::AllocAbort abort;
+      abort.container_id = "bench";
+      abort.pid = 1;
+      abort.size = 1 * kMiB;
+      (void)(*connected)->Notify(protocol::Message(abort));
+    }
+    return std::move(*connected);
+  }();
+  RoundTrip(state, *link, testbed.server().core());
+}
+
+/// Minimal TCP echo of the scheduler protocol: a thread answers every
+/// alloc_request with a decision from a real SchedulerCore — isolating the
+/// transport cost difference against the UNIX socket path.
+class TcpScheduler {
+ public:
+  TcpScheduler() : core_(MakeOptions()) {
+    (void)core_.RegisterContainer("bench", 4 * kGiB);
+    auto listener = ipc::TcpListener::Bind(0);
+    if (!listener.ok()) std::abort();
+    port_ = listener->port();
+    server_ = std::thread([listener = std::move(*listener), this]() mutable {
+      auto conn = listener.Accept();
+      if (!conn.ok()) return;
+      for (;;) {
+        auto raw = ipc::ReadMessage(conn->get());
+        if (!raw.ok()) return;
+        auto decoded = protocol::Decode(*raw);
+        if (!decoded.ok()) continue;
+        if (auto* alloc = std::get_if<protocol::AllocRequest>(&*decoded)) {
+          protocol::AllocReply reply;
+          std::promise<Status> decided;
+          auto future = decided.get_future();
+          core_.RequestAlloc(alloc->container_id, alloc->pid, alloc->size,
+                             [&decided](const Status& s) { decided.set_value(s); });
+          reply.granted = future.get().ok();
+          (void)ipc::WriteMessage(conn->get(),
+                                  protocol::Encode(protocol::Message(reply)));
+        } else if (auto* abort = std::get_if<protocol::AllocAbort>(&*decoded)) {
+          (void)core_.AbortAlloc(abort->container_id, abort->pid, abort->size);
+        }
+      }
+    });
+  }
+
+  ~TcpScheduler() {
+    client_.Reset();  // unblocks the server's read with EOF
+    if (server_.joinable()) server_.join();
+  }
+
+  static SchedulerOptions MakeOptions() {
+    SchedulerOptions options;
+    options.capacity = 5 * kGiB;
+    return options;
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  SchedulerCore& core() { return core_; }
+  ipc::Fd client_;
+
+ private:
+  SchedulerCore core_;
+  std::uint16_t port_ = 0;
+  std::thread server_;
+};
+
+void BM_Transport_tcp_loopback(benchmark::State& state) {
+  static TcpScheduler scheduler;
+  static bool connected = [] {
+    auto fd = ipc::TcpConnect(scheduler.port());
+    if (!fd.ok()) return false;
+    scheduler.client_ = std::move(*fd);
+    return true;
+  }();
+  if (!connected) {
+    state.SkipWithError("tcp connect failed");
+    return;
+  }
+  const json::Json request = protocol::Encode(AllocMessage());
+  protocol::AllocAbort abort;
+  abort.container_id = "bench";
+  abort.pid = 1;
+  abort.size = 1 * kMiB;
+  const json::Json rollback = protocol::Encode(protocol::Message(abort));
+
+  for (auto _ : state) {
+    if (!ipc::WriteMessage(scheduler.client_.get(), request).ok()) {
+      state.SkipWithError("tcp write failed");
+      return;
+    }
+    auto reply = ipc::ReadMessage(scheduler.client_.get());
+    if (!reply.ok()) {
+      state.SkipWithError("tcp read failed");
+      return;
+    }
+    state.PauseTiming();
+    (void)ipc::WriteMessage(scheduler.client_.get(), rollback);
+    while (scheduler.core().StatsFor("bench")->used > 66 * kMiB) {
+      std::this_thread::yield();
+    }
+    state.ResumeTiming();
+  }
+}
+
+BENCHMARK(BM_Transport_direct)->Iterations(2000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Transport_unix_socket)->Iterations(2000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Transport_tcp_loopback)->Iterations(2000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace convgpu::bench
+
+BENCHMARK_MAIN();

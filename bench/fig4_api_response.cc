@@ -1,0 +1,166 @@
+// Figure 4: response time of the six hooked CUDA APIs, with vs without
+// ConVGPU.
+//
+// Paper's findings this harness should reproduce in shape:
+//  * allocation APIs ≈ 2× slower with ConVGPU (scheduler round trip on top
+//    of a ~35 µs driver call);
+//  * the first cudaMallocPitch pays an extra cudaGetDeviceProperties;
+//  * cudaMallocManaged dwarfs everything (~40× an ordinary alloc) because
+//    of CPU/GPU mapping — the wrapper's extra round trip disappears in it;
+//  * cudaFree barely changes (the free notification is fire-and-forget);
+//  * cudaMemGetInfo is *faster* with ConVGPU (answered from the ledger, no
+//    driver query).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace convgpu::bench {
+namespace {
+
+using cudasim::CudaApi;
+using cudasim::DevicePtr;
+
+PaperTestbed& Testbed() {
+  static PaperTestbed testbed("fig4");
+  return testbed;
+}
+
+constexpr std::size_t kAllocSize = 1 << 20;  // 1 MiB, like the test program
+
+void MallocFree(benchmark::State& state, CudaApi& api) {
+  for (auto _ : state) {
+    DevicePtr p = cudasim::kNullDevicePtr;
+    if (api.Malloc(&p, kAllocSize) != cudasim::CudaError::kSuccess) {
+      state.SkipWithError("cudaMalloc failed");
+      return;
+    }
+    state.PauseTiming();
+    api.Free(p);
+    state.ResumeTiming();
+  }
+}
+void BM_cudaMalloc_native(benchmark::State& state) {
+  MallocFree(state, Testbed().native());
+}
+void BM_cudaMalloc_convgpu(benchmark::State& state) {
+  MallocFree(state, Testbed().wrapped());
+}
+
+void MallocPitch(benchmark::State& state, CudaApi& api) {
+  for (auto _ : state) {
+    DevicePtr p = cudasim::kNullDevicePtr;
+    std::size_t pitch = 0;
+    if (api.MallocPitch(&p, &pitch, 1000, 1000) != cudasim::CudaError::kSuccess) {
+      state.SkipWithError("cudaMallocPitch failed");
+      return;
+    }
+    state.PauseTiming();
+    api.Free(p);
+    state.ResumeTiming();
+  }
+}
+void BM_cudaMallocPitch_native(benchmark::State& state) {
+  MallocPitch(state, Testbed().native());
+}
+void BM_cudaMallocPitch_convgpu(benchmark::State& state) {
+  MallocPitch(state, Testbed().wrapped());
+}
+
+void Malloc3D(benchmark::State& state, CudaApi& api) {
+  const cudasim::Extent extent{1000, 32, 8};
+  for (auto _ : state) {
+    cudasim::PitchedPtr p;
+    if (api.Malloc3D(&p, extent) != cudasim::CudaError::kSuccess) {
+      state.SkipWithError("cudaMalloc3D failed");
+      return;
+    }
+    state.PauseTiming();
+    api.Free(p.ptr);
+    state.ResumeTiming();
+  }
+}
+void BM_cudaMalloc3D_native(benchmark::State& state) {
+  Malloc3D(state, Testbed().native());
+}
+void BM_cudaMalloc3D_convgpu(benchmark::State& state) {
+  Malloc3D(state, Testbed().wrapped());
+}
+
+void MallocManaged(benchmark::State& state, CudaApi& api) {
+  for (auto _ : state) {
+    DevicePtr p = cudasim::kNullDevicePtr;
+    if (api.MallocManaged(&p, kAllocSize) != cudasim::CudaError::kSuccess) {
+      state.SkipWithError("cudaMallocManaged failed");
+      return;
+    }
+    state.PauseTiming();
+    api.Free(p);
+    state.ResumeTiming();
+  }
+}
+void BM_cudaMallocManaged_native(benchmark::State& state) {
+  MallocManaged(state, Testbed().native());
+}
+void BM_cudaMallocManaged_convgpu(benchmark::State& state) {
+  MallocManaged(state, Testbed().wrapped());
+}
+
+void Free(benchmark::State& state, CudaApi& api) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    DevicePtr p = cudasim::kNullDevicePtr;
+    if (api.Malloc(&p, kAllocSize) != cudasim::CudaError::kSuccess) {
+      state.SkipWithError("setup cudaMalloc failed");
+      return;
+    }
+    state.ResumeTiming();
+    api.Free(p);
+  }
+}
+void BM_cudaFree_native(benchmark::State& state) {
+  Free(state, Testbed().native());
+}
+void BM_cudaFree_convgpu(benchmark::State& state) {
+  Free(state, Testbed().wrapped());
+}
+
+void MemGetInfo(benchmark::State& state, CudaApi& api) {
+  for (auto _ : state) {
+    std::size_t free_bytes = 0;
+    std::size_t total_bytes = 0;
+    if (api.MemGetInfo(&free_bytes, &total_bytes) != cudasim::CudaError::kSuccess) {
+      state.SkipWithError("cudaMemGetInfo failed");
+      return;
+    }
+    benchmark::DoNotOptimize(free_bytes);
+  }
+}
+void BM_cudaMemGetInfo_native(benchmark::State& state) {
+  MemGetInfo(state, Testbed().native());
+}
+void BM_cudaMemGetInfo_convgpu(benchmark::State& state) {
+  MemGetInfo(state, Testbed().wrapped());
+}
+
+// The paper repeats each measurement 10 times and averages; iterations are
+// pinned so the first-call effects (pitch retrieval) stay visible in
+// relative terms without dominating.
+constexpr int kIterations = 200;
+
+BENCHMARK(BM_cudaMalloc_native)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMalloc_convgpu)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMallocPitch_native)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMallocPitch_convgpu)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMalloc3D_native)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMalloc3D_convgpu)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMallocManaged_native)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMallocManaged_convgpu)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaFree_native)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaFree_convgpu)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMemGetInfo_native)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_cudaMemGetInfo_convgpu)->Iterations(kIterations)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace convgpu::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Figure 5: container creation time, with vs without ConVGPU.
+//
+// "Creation time with the ConVGPU is around 15% longer than without the
+// solution since the computation time which scheduler checks and assigns
+// GPU memory to the container is considered." The ConVGPU path adds: the
+// registration round trip to the scheduler, per-container directory +
+// socket setup, and the extra mounts; the plain path is the engine alone.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "containersim/engine.h"
+
+namespace convgpu::bench {
+namespace {
+
+struct Fig5Env {
+  Fig5Env() : dir(MakeBenchDir("fig5")) {
+    SchedulerServerOptions server_options;
+    server_options.base_dir = dir;
+    server_options.scheduler.capacity = 1024 * kGiB;  // never the bottleneck
+    server = std::make_unique<SchedulerServer>(std::move(server_options));
+    if (!server->Start().ok()) std::abort();
+
+    engine.images().Put(
+        containersim::ImageRegistry::CudaImage("cuda-app", "8.0"));
+    containersim::Image plain;
+    plain.name = "plain-app";
+    engine.images().Put(plain);
+
+    NvDockerPlugin::Options plugin_options;
+    plugin_options.volume_root = dir + "/volumes";
+    plugin_options.scheduler_socket = server->main_socket_path();
+    plugin = std::make_unique<NvDockerPlugin>(plugin_options);
+    engine.RegisterVolumePlugin("nvidia-docker", plugin.get());
+
+    NvDocker::Options nvdocker_options;
+    nvdocker_options.engine = &engine;
+    nvdocker_options.scheduler_socket = server->main_socket_path();
+    nvdocker = std::make_unique<NvDocker>(nvdocker_options);
+  }
+
+  std::string dir;
+  std::unique_ptr<SchedulerServer> server;
+  containersim::Engine engine;
+  std::unique_ptr<NvDockerPlugin> plugin;
+  std::unique_ptr<NvDocker> nvdocker;
+  int counter = 0;
+};
+
+Fig5Env& Env() {
+  static Fig5Env env;
+  return env;
+}
+
+containersim::Entrypoint TrivialEntrypoint() {
+  return [](containersim::ContainerContext&) { return 0; };
+}
+
+void BM_ContainerCreation_plain_docker(benchmark::State& state) {
+  Fig5Env& env = Env();
+  for (auto _ : state) {
+    containersim::ContainerSpec spec;
+    spec.image = "plain-app";
+    spec.entrypoint = TrivialEntrypoint();
+    auto id = env.engine.Create(std::move(spec));
+    if (!id.ok() || !env.engine.Start(*id).ok()) {
+      state.SkipWithError("create/start failed");
+      return;
+    }
+    state.PauseTiming();
+    (void)env.engine.Wait(*id);
+    (void)env.engine.Remove(*id);
+    state.ResumeTiming();
+  }
+}
+
+void BM_ContainerCreation_convgpu(benchmark::State& state) {
+  Fig5Env& env = Env();
+  for (auto _ : state) {
+    RunRequest request;
+    request.image = "cuda-app";
+    request.name = "fig5-" + std::to_string(env.counter++);
+    request.nvidia_memory = "512MiB";
+    request.entrypoint = TrivialEntrypoint();
+    auto result = env.nvdocker->Run(std::move(request));
+    if (!result.ok()) {
+      state.SkipWithError("nvidia-docker run failed");
+      return;
+    }
+    state.PauseTiming();
+    (void)env.engine.Wait(result->container_id);
+    (void)env.engine.Remove(result->container_id);
+    state.ResumeTiming();
+  }
+}
+
+BENCHMARK(BM_ContainerCreation_plain_docker)
+    ->Iterations(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ContainerCreation_convgpu)
+    ->Iterations(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace convgpu::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf(
+      "\nReading: ConVGPU's creation cost is ADDITIVE — registration round "
+      "trip + per-container socket/directory + extra mounts. The paper "
+      "measured +0.0618 s (+15%%) on top of real Docker's ~0.4 s creation; "
+      "the simulated engine creates containers in microseconds, so compare "
+      "the absolute difference between the two rows, not the ratio.\n");
+  return 0;
+}

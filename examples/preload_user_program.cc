@@ -1,0 +1,99 @@
+// The "user program" of the LD_PRELOAD demonstration.
+//
+// Compiled against the simulated CUDA runtime only (cuda_runtime_api.h +
+// libcudasim_rt.so) — it knows nothing about ConVGPU, exactly like a real
+// CUDA application. Run it bare and it sees the whole 5 GB device; run it
+// under nvdocker-sim (LD_PRELOAD=libgpushare_preload.so) and every hooked
+// call is arbitrated by the scheduler.
+//
+// Exit codes double as assertions for tests/preload_test.cc:
+//   0  — behaved as a ConVGPU-limited container (total == CONVGPU limit,
+//        an over-limit malloc failed, a fitting one succeeded), or, when
+//        CONVGPU_MEMORY_LIMIT is unset, behaved as a bare device.
+//   1+ — the specific check that failed.
+#include <inttypes.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+#include "cudasim/cuda_runtime_api.h"
+
+int main(void) {
+  const char* limit_env = getenv("CONVGPU_MEMORY_LIMIT");
+  const long long limit = limit_env != NULL ? atoll(limit_env) : 0;
+
+  size_t free_bytes = 0;
+  size_t total_bytes = 0;
+  if (cudaMemGetInfo(&free_bytes, &total_bytes) != cudaSuccess) {
+    fprintf(stderr, "cudaMemGetInfo failed\n");
+    return 2;
+  }
+  printf("cudaMemGetInfo: free=%zu total=%zu\n", free_bytes, total_bytes);
+
+  if (limit > 0) {
+    // Interposed: the virtualized view must equal the container limit.
+    if ((long long)total_bytes != limit) {
+      fprintf(stderr, "expected virtualized total %lld, got %zu\n", limit,
+              total_bytes);
+      return 3;
+    }
+    // Over-limit allocation must fail with cudaErrorMemoryAllocation.
+    void* too_big = NULL;
+    if (cudaMalloc(&too_big, (size_t)limit + (64 << 20)) !=
+        cudaErrorMemoryAllocation) {
+      fprintf(stderr, "over-limit cudaMalloc unexpectedly succeeded\n");
+      return 4;
+    }
+  } else {
+    // Bare runtime: the full simulated device.
+    struct cudaDeviceProp prop;
+    if (cudaGetDeviceProperties(&prop, 0) != cudaSuccess) return 5;
+    if (total_bytes != prop.totalGlobalMem) {
+      fprintf(stderr, "bare total %zu != device %zu\n", total_bytes,
+              prop.totalGlobalMem);
+      return 6;
+    }
+    printf("device: %s\n", prop.name);
+  }
+
+  // A fitting allocation must work either way.
+  void* data = NULL;
+  const size_t size = 32 << 20;  // 32 MiB
+  if (cudaMalloc(&data, size) != cudaSuccess) {
+    fprintf(stderr, "cudaMalloc(32MiB) failed: %s\n",
+            cudaGetErrorString(cudaGetLastError()));
+    return 7;
+  }
+
+  char host[256];
+  memset(host, 0x5A, sizeof(host));
+  if (cudaMemcpy(data, host, sizeof(host), cudaMemcpyHostToDevice) !=
+      cudaSuccess) {
+    return 8;
+  }
+  if (cudaLaunchKernelModel("demo_kernel", 128, 256, 1000, NULL) != cudaSuccess) {
+    return 9;
+  }
+  if (cudaDeviceSynchronize() != cudaSuccess) return 10;
+  if (cudaMemcpy(host, data, sizeof(host), cudaMemcpyDeviceToHost) !=
+      cudaSuccess) {
+    return 11;
+  }
+
+  /* Optional dwell (tests observe the scheduler while memory is held). */
+  const char* sleep_ms = getenv("CONVGPU_SLEEP_MS");
+  if (sleep_ms != NULL) {
+    struct timespec ts;
+    ts.tv_sec = atoll(sleep_ms) / 1000;
+    ts.tv_nsec = (atoll(sleep_ms) % 1000) * 1000000;
+    nanosleep(&ts, NULL);
+  }
+
+  if (cudaFree(data) != cudaSuccess) return 12;
+
+  // nvcc-emitted teardown: tells ConVGPU the program is done.
+  __cudaUnregisterFatBinary(NULL);
+  printf("user program finished cleanly\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "common/bytes.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace convgpu {
+namespace {
+
+// Case-insensitive suffix comparison on ASCII.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Bytes> SuffixMultiplier(std::string_view suffix) {
+  if (suffix.empty() || EqualsIgnoreCase(suffix, "b")) return Bytes{1};
+  for (std::string_view s : {"k", "kb", "kib"}) {
+    if (EqualsIgnoreCase(suffix, s)) return kKiB;
+  }
+  for (std::string_view s : {"m", "mb", "mib"}) {
+    if (EqualsIgnoreCase(suffix, s)) return kMiB;
+  }
+  for (std::string_view s : {"g", "gb", "gib"}) {
+    if (EqualsIgnoreCase(suffix, s)) return kGiB;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Bytes> ParseByteSize(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return std::nullopt;
+
+  // Split numeric prefix (integer or decimal) from the suffix.
+  std::size_t pos = 0;
+  bool seen_dot = false;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          (text[pos] == '.' && !seen_dot))) {
+    if (text[pos] == '.') seen_dot = true;
+    ++pos;
+  }
+  if (pos == 0) return std::nullopt;
+
+  std::string_view number = text.substr(0, pos);
+  std::string_view suffix = text.substr(pos);
+  while (!suffix.empty() && std::isspace(static_cast<unsigned char>(suffix.front()))) {
+    suffix.remove_prefix(1);
+  }
+
+  auto multiplier = SuffixMultiplier(suffix);
+  if (!multiplier) return std::nullopt;
+
+  if (seen_dot) {
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(number.data(), number.data() + number.size(), value);
+    if (ec != std::errc{} || ptr != number.data() + number.size()) return std::nullopt;
+    double bytes = value * static_cast<double>(*multiplier);
+    if (bytes < 0 || bytes > 9.0e18) return std::nullopt;
+    return static_cast<Bytes>(std::llround(bytes));
+  }
+
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(number.data(), number.data() + number.size(), value);
+  if (ec != std::errc{} || ptr != number.data() + number.size()) return std::nullopt;
+  if (*multiplier != 0 &&
+      value > static_cast<std::uint64_t>(INT64_MAX / *multiplier)) {
+    return std::nullopt;
+  }
+  return static_cast<Bytes>(value) * *multiplier;
+}
+
+std::string FormatByteSize(Bytes bytes) {
+  const bool negative = bytes < 0;
+  const Bytes magnitude = negative ? -bytes : bytes;
+  const char* suffix = "B";
+  double scaled = static_cast<double>(magnitude);
+  if (magnitude >= kGiB) {
+    suffix = "GiB";
+    scaled = static_cast<double>(magnitude) / static_cast<double>(kGiB);
+  } else if (magnitude >= kMiB) {
+    suffix = "MiB";
+    scaled = static_cast<double>(magnitude) / static_cast<double>(kMiB);
+  } else if (magnitude >= kKiB) {
+    suffix = "KiB";
+    scaled = static_cast<double>(magnitude) / static_cast<double>(kKiB);
+  }
+
+  char buffer[64];
+  if (scaled == std::floor(scaled)) {
+    std::snprintf(buffer, sizeof(buffer), "%s%lld%s", negative ? "-" : "",
+                  static_cast<long long>(scaled), suffix);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s%.2f%s", negative ? "-" : "",
+                  scaled, suffix);
+  }
+  return buffer;
+}
+
+}  // namespace convgpu

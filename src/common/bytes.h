@@ -1,0 +1,50 @@
+// Byte-size arithmetic and human-readable size parsing/formatting.
+//
+// GPU memory quantities flow through every layer of ConVGPU (CLI option,
+// image label, wire protocol, ledger), so sizes get a dedicated vocabulary
+// here instead of bare integers scattered through the code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace convgpu {
+
+/// Number of bytes. Signed so that subtraction in ledger arithmetic is safe
+/// to express and underflow is detectable rather than wrapping.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+namespace literals {
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kKiB;
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kMiB;
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kGiB;
+}
+}  // namespace literals
+
+/// Rounds `value` up to the next multiple of `alignment` (alignment > 0).
+constexpr Bytes AlignUp(Bytes value, Bytes alignment) {
+  return ((value + alignment - 1) / alignment) * alignment;
+}
+
+/// Parses a human size string: "123", "128MiB", "1g", "512 mb", "2GiB".
+/// Decimal (kB/MB/GB) and binary (KiB/MiB/GiB) suffixes are both treated as
+/// binary, matching Docker's `--memory` behaviour for power-of-two sizes.
+/// Returns std::nullopt on malformed input or negative size.
+std::optional<Bytes> ParseByteSize(std::string_view text);
+
+/// Formats bytes with the largest exact binary suffix, e.g. "512MiB",
+/// "1.50GiB", "17B".
+std::string FormatByteSize(Bytes bytes);
+
+}  // namespace convgpu

@@ -1,0 +1,55 @@
+#include "common/clock.h"
+
+namespace convgpu {
+
+TimePoint RealClock::Now() const {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() -
+                                              epoch);
+}
+
+RealClock& RealClock::Instance() {
+  static RealClock clock;
+  return clock;
+}
+
+SimClock::EventId SimClock::ScheduleAt(TimePoint at, EventFn fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.emplace(Key{at, id}, std::move(fn));
+  return id;
+}
+
+bool SimClock::Cancel(EventId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.second == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimClock::Step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = it->first.first;
+  EventFn fn = std::move(it->second);
+  queue_.erase(it);
+  fn();
+  return true;
+}
+
+void SimClock::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void SimClock::RunUntil(TimePoint until) {
+  while (!queue_.empty() && queue_.begin()->first.first <= until) {
+    Step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace convgpu

@@ -1,0 +1,95 @@
+// Time abstraction: real (steady) time for the socket daemon and
+// microbenchmarks, simulated time for the discrete-event evaluation.
+//
+// The scheduling-policy experiments in the paper run containers for
+// 5-45 wall-clock seconds; replaying Table IV/V at real speed would take
+// hours. Every timing-sensitive component takes a Clock&, so the same
+// SchedulerCore runs under either a RealClock or a SimClock event queue.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace convgpu {
+
+/// Nanoseconds since an arbitrary epoch (process start for RealClock,
+/// simulation start for SimClock).
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;
+
+inline constexpr TimePoint kTimeZero = TimePoint::zero();
+
+/// Convenience constructors used throughout workloads and tests.
+constexpr Duration Seconds(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+constexpr Duration Millis(double ms) {
+  return Duration(static_cast<std::int64_t>(ms * 1e6));
+}
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+/// Read-only clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint Now() const = 0;
+};
+
+/// Monotonic wall-clock, epoch = first use in the process.
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint Now() const override;
+
+  /// Shared process-wide instance.
+  static RealClock& Instance();
+};
+
+/// Deterministic virtual clock with an event queue. Not thread-safe by
+/// design: the DES harness is single-threaded, which is what makes the
+/// Table IV/V experiments exactly reproducible.
+class SimClock final : public Clock {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  [[nodiscard]] TimePoint Now() const override { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to >= Now()).
+  EventId ScheduleAt(TimePoint at, EventFn fn);
+  /// Schedules `fn` to run `delay` after Now().
+  EventId ScheduleAfter(Duration delay, EventFn fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+  /// Cancels a pending event; returns false if it already ran or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs the earliest pending event, advancing Now() to its deadline.
+  /// Returns false if the queue is empty.
+  bool Step();
+  /// Runs events until the queue is empty.
+  void RunUntilIdle();
+  /// Runs all events with deadline <= `until`, then sets Now() = until.
+  void RunUntil(TimePoint until);
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  // Ordered by (deadline, insertion sequence) for FIFO tie-breaking —
+  // required for determinism when many events share a deadline.
+  using Key = std::pair<TimePoint, EventId>;
+  std::map<Key, EventFn> queue_;
+  TimePoint now_ = kTimeZero;
+  EventId next_id_ = 1;
+};
+
+}  // namespace convgpu

@@ -1,0 +1,20 @@
+#include "common/ids.h"
+
+#include "common/rng.h"
+
+namespace convgpu {
+
+std::string MakeContainerId(std::uint64_t counter, std::uint64_t salt) {
+  std::uint64_t state = salt * 0x9E3779B97F4A7C15ULL + counter;
+  const std::uint64_t value = SplitMix64(state);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string id(12, '0');
+  std::uint64_t v = value;
+  for (auto& ch : id) {
+    ch = kHex[v & 0xF];
+    v >>= 4;
+  }
+  return id;
+}
+
+}  // namespace convgpu

@@ -1,0 +1,29 @@
+// Identifier vocabulary shared across the stack.
+//
+// Containers, processes inside containers, devices, and allocations all
+// need ids that survive JSON round-trips; everything here is a thin typed
+// wrapper around integers/strings to keep call sites self-describing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace convgpu {
+
+/// Docker-style 12-hex-digit container id derived from a counter and seed.
+std::string MakeContainerId(std::uint64_t counter, std::uint64_t salt = 0);
+
+/// Process id inside the (possibly simulated) container.
+using Pid = std::int64_t;
+
+/// Monotonic process-wide counter for unique ids.
+class IdGenerator {
+ public:
+  std::uint64_t Next() { return counter_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+ private:
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace convgpu

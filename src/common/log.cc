@@ -1,0 +1,62 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace convgpu {
+namespace {
+
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty => default stderr sink
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+void DefaultSink(LogLevel level, std::string_view tag, std::string_view msg) {
+  std::fprintf(stderr, "%.*s [%.*s] %.*s\n",
+               static_cast<int>(LogLevelName(level).size()), LogLevelName(level).data(),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  std::swap(g_sink, sink);
+  return sink;
+}
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, std::string_view tag, std::string_view msg) {
+  if (level < GetLogLevel()) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, tag, msg);
+  } else {
+    DefaultSink(level, tag, msg);
+  }
+}
+
+}  // namespace convgpu

@@ -1,0 +1,58 @@
+// Minimal thread-safe leveled logger.
+//
+// The scheduler daemon, plugin, and CLI all log; tests capture log output
+// through a swappable sink. Deliberately tiny: no formatting library, just
+// preformatted strings and a level gate.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace convgpu {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Replaces the global sink; returns the previous sink. The default sink
+/// writes "LEVEL [tag] message" lines to stderr.
+using LogSink = std::function<void(LogLevel, std::string_view tag, std::string_view msg)>;
+LogSink SetLogSink(LogSink sink);
+
+/// Sets the minimum level that reaches the sink (default kWarn so tests and
+/// benchmarks stay quiet unless asked).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log record if `level` passes the gate. Thread-safe.
+void LogMessage(LogLevel level, std::string_view tag, std::string_view msg);
+
+namespace internal {
+/// Stream-style building: LOG_STREAM(kInfo, "sched") << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { LogMessage(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace convgpu
+
+#define CONVGPU_LOG(level, tag)                                  \
+  if (::convgpu::GetLogLevel() <= ::convgpu::LogLevel::level)    \
+  ::convgpu::internal::LogLine(::convgpu::LogLevel::level, (tag))

@@ -1,0 +1,140 @@
+// Lightweight Result<T> / Status error-propagation vocabulary.
+//
+// The middleware crosses process and socket boundaries where exceptions are
+// the wrong tool; fallible operations return Result<T> (value or Status)
+// and infallible plumbing uses plain values. Modeled on the shape of
+// absl::StatusOr without the dependency.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace convgpu {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,   // e.g. GPU memory limit exceeded -> alloc rejected
+  kFailedPrecondition,  // e.g. operation on a stopped container
+  kUnavailable,         // e.g. scheduler unreachable
+  kDeadlineExceeded,
+  kAborted,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+/// Error status: code + human-readable message. kOk carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFoundError(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status UnavailableError(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status AbortedError(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status InternalError(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Value-or-Status. Accessing value() on an error aborts in debug builds;
+/// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {       // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result from Status requires an error status");
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate-on-error helper: `CONVGPU_RETURN_IF_ERROR(DoThing());`
+#define CONVGPU_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    if (auto convgpu_status = (expr); !convgpu_status.ok()) \
+      return convgpu_status;                            \
+  } while (false)
+
+}  // namespace convgpu

@@ -1,0 +1,73 @@
+#include "containersim/cgroup.h"
+
+namespace convgpu::containersim {
+
+Status CgroupController::CreateGroup(const std::string& container_id,
+                                     CgroupLimits limits) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = groups_.emplace(container_id, Group{limits, {}});
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("cgroup exists: " + container_id);
+  }
+  return Status::Ok();
+}
+
+Status CgroupController::RemoveGroup(const std::string& container_id) {
+  std::lock_guard lock(mutex_);
+  if (groups_.erase(container_id) == 0) {
+    return NotFoundError("no cgroup: " + container_id);
+  }
+  return Status::Ok();
+}
+
+Status CgroupController::ChargeMemory(const std::string& container_id,
+                                      Bytes bytes) {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(container_id);
+  if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
+  if (bytes < 0) return InvalidArgumentError("negative memory charge");
+  Group& group = it->second;
+  if (group.limits.memory_limit > 0 &&
+      group.usage.memory_used + bytes > group.limits.memory_limit) {
+    return ResourceExhaustedError("cgroup memory limit exceeded for " +
+                                  container_id);
+  }
+  group.usage.memory_used += bytes;
+  return Status::Ok();
+}
+
+Status CgroupController::UnchargeMemory(const std::string& container_id,
+                                        Bytes bytes) {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(container_id);
+  if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
+  if (bytes < 0 || bytes > it->second.usage.memory_used) {
+    return InvalidArgumentError("invalid memory uncharge");
+  }
+  it->second.usage.memory_used -= bytes;
+  return Status::Ok();
+}
+
+Result<CgroupUsage> CgroupController::Usage(const std::string& container_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(container_id);
+  if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
+  return it->second.usage;
+}
+
+Result<CgroupLimits> CgroupController::Limits(const std::string& container_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = groups_.find(container_id);
+  if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
+  return it->second.limits;
+}
+
+int CgroupController::TotalVcpus() const {
+  std::lock_guard lock(mutex_);
+  int total = 0;
+  for (const auto& [id, group] : groups_) total += group.limits.vcpus;
+  return total;
+}
+
+}  // namespace convgpu::containersim

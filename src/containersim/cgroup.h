@@ -1,0 +1,54 @@
+// cgroup-style resource accounting.
+//
+// Docker constrains CPU and host memory through cgroups (paper §II-C); the
+// engine mirrors that with a controller that tracks per-container vCPU
+// shares and memory charges against limits. GPU memory deliberately has no
+// entry here — that gap is precisely what ConVGPU fills.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace convgpu::containersim {
+
+struct CgroupLimits {
+  int vcpus = 1;
+  Bytes memory_limit = 0;  // 0 = unlimited
+};
+
+struct CgroupUsage {
+  Bytes memory_used = 0;
+};
+
+class CgroupController {
+ public:
+  /// Creates the group (container create time).
+  Status CreateGroup(const std::string& container_id, CgroupLimits limits);
+  Status RemoveGroup(const std::string& container_id);
+
+  /// Charges host memory; kResourceExhausted beyond the group's limit
+  /// (the OOM-killer analogue).
+  Status ChargeMemory(const std::string& container_id, Bytes bytes);
+  Status UnchargeMemory(const std::string& container_id, Bytes bytes);
+
+  [[nodiscard]] Result<CgroupUsage> Usage(const std::string& container_id) const;
+  [[nodiscard]] Result<CgroupLimits> Limits(const std::string& container_id) const;
+
+  /// Total vCPUs across live groups (for placement heuristics).
+  [[nodiscard]] int TotalVcpus() const;
+
+ private:
+  struct Group {
+    CgroupLimits limits;
+    CgroupUsage usage;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Group> groups_;
+};
+
+}  // namespace convgpu::containersim

@@ -1,0 +1,122 @@
+// Container model: spec, lifecycle state machine, runtime context.
+//
+// Mirrors the slice of Docker the middleware interacts with: created →
+// running → exited lifecycle, --env / --volume / --device options, labels,
+// and cgroup-style resource knobs (paper §II-C).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace convgpu::containersim {
+
+enum class ContainerState { kCreated, kRunning, kExited, kRemoved };
+
+std::string_view ContainerStateName(ContainerState state);
+
+/// A --volume mount. `driver` names a registered volume plugin; empty means
+/// a plain bind mount (source used verbatim).
+struct Mount {
+  std::string source;  // host path or plugin volume name
+  std::string target;  // path inside the container
+  std::string driver;  // volume plugin, e.g. "nvidia-docker"
+  bool read_only = false;
+};
+
+/// A --device mapping (PCI pass-through of the GPU in NVIDIA Docker).
+struct DeviceMapping {
+  std::string host_path;  // e.g. "/dev/nvidia0"
+};
+
+class ContainerContext;
+
+/// The container's entrypoint. In-process execution mode runs this on a
+/// dedicated thread, standing in for the user program's process.
+using Entrypoint = std::function<int(ContainerContext&)>;
+
+struct ContainerSpec {
+  std::string name;   // optional; engine generates one if empty
+  std::string image;
+  std::map<std::string, std::string> env;
+  std::vector<Mount> mounts;
+  std::vector<DeviceMapping> devices;
+  std::map<std::string, std::string> labels;
+
+  // cgroup knobs (subset: what the Table III container types set).
+  int vcpus = 1;
+  Bytes memory_limit = 0;  // 0 = unlimited
+
+  Entrypoint entrypoint;  // may be empty for externally-driven containers
+};
+
+/// What the entrypoint can see from inside the container: its identity, the
+/// merged environment, mount targets, and the cooperative stop flag.
+class ContainerContext {
+ public:
+  ContainerContext(std::string container_id, Pid pid,
+                   std::map<std::string, std::string> env,
+                   std::vector<Mount> mounts)
+      : container_id_(std::move(container_id)),
+        pid_(pid),
+        env_(std::move(env)),
+        mounts_(std::move(mounts)) {}
+
+  [[nodiscard]] const std::string& container_id() const { return container_id_; }
+  [[nodiscard]] Pid pid() const { return pid_; }
+
+  [[nodiscard]] std::optional<std::string> Env(const std::string& name) const {
+    auto it = env_.find(name);
+    if (it == env_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& env() const { return env_; }
+
+  /// Host source mounted at container path `target`, if any.
+  [[nodiscard]] std::optional<std::string> MountSource(const std::string& target) const {
+    for (const auto& m : mounts_) {
+      if (m.target == target) return m.source;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] const std::vector<Mount>& mounts() const { return mounts_; }
+
+  /// Cooperative stop: `docker stop` sets this; well-behaved workloads poll.
+  [[nodiscard]] bool StopRequested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+  void RequestStop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::string container_id_;
+  Pid pid_;
+  std::map<std::string, std::string> env_;
+  std::vector<Mount> mounts_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+/// Post-mortem / inspection view (the `docker inspect` analogue).
+struct ContainerInfo {
+  std::string id;
+  std::string name;
+  std::string image;
+  ContainerState state = ContainerState::kCreated;
+  int exit_code = 0;
+  TimePoint created_at = kTimeZero;
+  TimePoint started_at = kTimeZero;
+  TimePoint finished_at = kTimeZero;
+  std::map<std::string, std::string> env;
+  std::vector<Mount> mounts;
+  std::vector<DeviceMapping> devices;
+  Pid pid = 0;
+};
+
+}  // namespace convgpu::containersim

@@ -1,0 +1,325 @@
+#include "containersim/engine.h"
+
+#include <condition_variable>
+
+#include "common/log.h"
+
+namespace convgpu::containersim {
+
+namespace {
+constexpr char kTag[] = "engine";
+constexpr Pid kPidBase = 10'000;
+}  // namespace
+
+std::string_view ContainerStateName(ContainerState state) {
+  switch (state) {
+    case ContainerState::kCreated:
+      return "created";
+    case ContainerState::kRunning:
+      return "running";
+    case ContainerState::kExited:
+      return "exited";
+    case ContainerState::kRemoved:
+      return "removed";
+  }
+  return "?";
+}
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kCreate:
+      return "create";
+    case EventType::kStart:
+      return "start";
+    case EventType::kDie:
+      return "die";
+    case EventType::kDestroy:
+      return "destroy";
+    case EventType::kVolumeMount:
+      return "volume-mount";
+    case EventType::kVolumeUnmount:
+      return "volume-unmount";
+  }
+  return "?";
+}
+
+Engine::Engine(const Clock* clock)
+    : clock_(clock != nullptr ? clock : &RealClock::Instance()) {}
+
+Engine::~Engine() {
+  // Request stop on everything still running, then join.
+  std::vector<std::string> ids;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, record] : records_) {
+      if (record->info.state == ContainerState::kRunning && record->context) {
+        record->context->RequestStop();
+      }
+      ids.push_back(id);
+    }
+  }
+  for (const auto& id : ids) (void)JoinThread(id);
+}
+
+TimePoint Engine::Now() const { return clock_->Now(); }
+
+void Engine::Emit(const ContainerEvent& event) {
+  std::vector<EventCallback> subscribers;
+  {
+    std::lock_guard lock(mutex_);
+    subscribers = subscribers_;
+  }
+  for (const auto& callback : subscribers) callback(event);
+}
+
+Result<Engine::Record*> Engine::FindLocked(const std::string& id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return NotFoundError("no such container: " + id);
+  }
+  return it->second.get();
+}
+
+Result<std::string> Engine::Create(ContainerSpec spec) {
+  if (!images_.Contains(spec.image)) {
+    return NotFoundError("no such image: " + spec.image);
+  }
+  auto image = images_.Find(spec.image);
+
+  const std::string id = MakeContainerId(id_gen_.Next(), 0xC0DE);
+  if (spec.name.empty()) spec.name = "convgpu_" + id.substr(0, 6);
+
+  CONVGPU_RETURN_IF_ERROR(cgroups_.CreateGroup(
+      id, CgroupLimits{spec.vcpus, spec.memory_limit}));
+
+  auto record = std::make_unique<Record>();
+  record->info.id = id;
+  record->info.name = spec.name;
+  record->info.image = spec.image;
+  record->info.state = ContainerState::kCreated;
+  record->info.created_at = Now();
+  record->info.devices = spec.devices;
+  record->info.pid = kPidBase + static_cast<Pid>(pid_gen_.Next());
+
+  // Environment = image defaults overlaid with the spec's --env options.
+  record->info.env = image->default_env;
+  for (const auto& [key, value] : spec.env) {
+    record->info.env[key] = value;
+  }
+  record->spec = std::move(spec);
+
+  {
+    std::lock_guard lock(mutex_);
+    records_.emplace(id, std::move(record));
+  }
+  Emit({EventType::kCreate, id, "", Now()});
+  return id;
+}
+
+Status Engine::Start(const std::string& id) {
+  std::shared_ptr<ContainerContext> context;
+  Entrypoint entrypoint;
+  std::vector<std::pair<std::string, std::string>> mounted;  // volume, source
+  {
+    std::unique_lock lock(mutex_);
+    auto record = FindLocked(id);
+    if (!record.ok()) return record.status();
+    Record& r = **record;
+    if (r.info.state != ContainerState::kCreated) {
+      return FailedPreconditionError(
+          "container " + id + " is " +
+          std::string(ContainerStateName(r.info.state)) + ", cannot start");
+    }
+
+    // Resolve plugin-driven mounts.
+    r.resolved_mounts.clear();
+    for (const Mount& mount : r.spec.mounts) {
+      Mount resolved = mount;
+      if (!mount.driver.empty()) {
+        auto plugin_it = plugins_.find(mount.driver);
+        if (plugin_it == plugins_.end()) {
+          return NotFoundError("no volume plugin: " + mount.driver);
+        }
+        // Plugins may call back into the engine; drop the lock around them.
+        lock.unlock();
+        auto source = plugin_it->second->Mount(mount.source, id);
+        lock.lock();
+        if (!source.ok()) return source.status();
+        resolved.source = *source;
+        mounted.emplace_back(mount.source, *source);
+      }
+      r.resolved_mounts.push_back(std::move(resolved));
+    }
+
+    r.info.mounts = r.resolved_mounts;
+    r.info.state = ContainerState::kRunning;
+    r.info.started_at = Now();
+    r.context = std::make_shared<ContainerContext>(id, r.info.pid, r.info.env,
+                                                   r.resolved_mounts);
+    context = r.context;
+    entrypoint = r.spec.entrypoint;
+
+    if (entrypoint) {
+      r.thread = std::thread([this, id, context, entrypoint] {
+        int code = 0;
+        code = entrypoint(*context);
+        (void)MarkExited(id, code);
+      });
+    }
+  }
+
+  for (const auto& [volume, source] : mounted) {
+    Emit({EventType::kVolumeMount, id, volume, Now()});
+  }
+  Emit({EventType::kStart, id, "", Now()});
+  CONVGPU_LOG(kDebug, kTag) << "started container " << id;
+  return Status::Ok();
+}
+
+void Engine::FinishLocked(std::unique_lock<std::mutex>& lock, Record& record,
+                          int exit_code) {
+  record.info.state = ContainerState::kExited;
+  record.info.exit_code = exit_code;
+  record.info.finished_at = Now();
+  record.thread_done = true;
+
+  const std::string id = record.info.id;
+  // Unmount plugin volumes — this is what lets nvidia-docker-plugin see the
+  // container die.
+  std::vector<std::pair<VolumePlugin*, std::string>> unmounts;
+  for (const Mount& mount : record.spec.mounts) {
+    if (mount.driver.empty()) continue;
+    auto plugin_it = plugins_.find(mount.driver);
+    if (plugin_it != plugins_.end()) {
+      unmounts.emplace_back(plugin_it->second, mount.source);
+    }
+  }
+
+  lock.unlock();
+  Emit({EventType::kDie, id, std::to_string(exit_code), Now()});
+  for (auto& [plugin, volume] : unmounts) {
+    plugin->Unmount(volume, id);
+    Emit({EventType::kVolumeUnmount, id, volume, Now()});
+  }
+  lock.lock();
+}
+
+Status Engine::MarkExited(const std::string& id, int exit_code) {
+  std::unique_lock lock(mutex_);
+  auto record = FindLocked(id);
+  if (!record.ok()) return record.status();
+  Record& r = **record;
+  if (r.info.state != ContainerState::kRunning) {
+    return FailedPreconditionError("container " + id + " is not running");
+  }
+  FinishLocked(lock, r, exit_code);
+  return Status::Ok();
+}
+
+Status Engine::JoinThread(const std::string& id) {
+  std::thread to_join;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = records_.find(id);
+    if (it == records_.end()) return NotFoundError("no such container: " + id);
+    if (it->second->thread.joinable()) {
+      to_join = std::move(it->second->thread);
+    }
+  }
+  if (to_join.joinable()) to_join.join();
+  return Status::Ok();
+}
+
+Status Engine::Stop(const std::string& id) {
+  {
+    std::lock_guard lock(mutex_);
+    auto record = FindLocked(id);
+    if (!record.ok()) return record.status();
+    Record& r = **record;
+    if (r.info.state == ContainerState::kExited) return Status::Ok();
+    if (r.info.state != ContainerState::kRunning) {
+      return FailedPreconditionError("container " + id + " is not running");
+    }
+    if (r.context) r.context->RequestStop();
+    if (!r.thread.joinable() && !r.thread_done) {
+      // External-execution container: the driver owns the transition. The
+      // stop flag is set; the driver must call MarkExited.
+      return Status::Ok();
+    }
+  }
+  return JoinThread(id);
+}
+
+Result<int> Engine::Wait(const std::string& id) {
+  CONVGPU_RETURN_IF_ERROR(JoinThread(id));
+  std::lock_guard lock(mutex_);
+  auto record = FindLocked(id);
+  if (!record.ok()) return record.status();
+  if ((*record)->info.state != ContainerState::kExited) {
+    return FailedPreconditionError("container " + id + " has not exited");
+  }
+  return (*record)->info.exit_code;
+}
+
+Status Engine::Remove(const std::string& id) {
+  CONVGPU_RETURN_IF_ERROR(JoinThread(id));
+  {
+    std::lock_guard lock(mutex_);
+    auto record = FindLocked(id);
+    if (!record.ok()) return record.status();
+    if ((*record)->info.state == ContainerState::kRunning) {
+      return FailedPreconditionError("cannot remove running container " + id);
+    }
+    records_.erase(id);
+  }
+  (void)cgroups_.RemoveGroup(id);
+  Emit({EventType::kDestroy, id, "", Now()});
+  return Status::Ok();
+}
+
+Result<ContainerInfo> Engine::Inspect(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return NotFoundError("no such container: " + id);
+  return it->second->info;
+}
+
+std::vector<ContainerInfo> Engine::List() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ContainerInfo> result;
+  result.reserve(records_.size());
+  for (const auto& [id, record] : records_) result.push_back(record->info);
+  return result;
+}
+
+std::size_t Engine::running_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [id, record] : records_) {
+    if (record->info.state == ContainerState::kRunning) ++count;
+  }
+  return count;
+}
+
+Result<std::shared_ptr<ContainerContext>> Engine::Context(
+    const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  auto it = records_.find(id);
+  if (it == records_.end()) return NotFoundError("no such container: " + id);
+  if (!it->second->context) {
+    return FailedPreconditionError("container " + id + " never started");
+  }
+  return it->second->context;
+}
+
+void Engine::Subscribe(EventCallback callback) {
+  std::lock_guard lock(mutex_);
+  subscribers_.push_back(std::move(callback));
+}
+
+void Engine::RegisterVolumePlugin(const std::string& driver, VolumePlugin* plugin) {
+  std::lock_guard lock(mutex_);
+  plugins_[driver] = plugin;
+}
+
+}  // namespace convgpu::containersim

@@ -1,0 +1,112 @@
+// The container engine: lifecycle, threads-as-processes, volume plugins,
+// cgroups, and the event bus — the slice of Docker that NVIDIA Docker and
+// ConVGPU build on.
+//
+// Two execution modes per container:
+//  * threaded  — the spec carries an Entrypoint; Start() runs it on a
+//    dedicated thread standing in for the containerized process (live
+//    integration tests and the real-socket benchmarks use this);
+//  * external  — no entrypoint; a driver (the discrete-event simulation)
+//    moves the container through its states with MarkExited().
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "containersim/cgroup.h"
+#include "containersim/container.h"
+#include "containersim/events.h"
+#include "containersim/image.h"
+#include "containersim/volume.h"
+
+namespace convgpu::containersim {
+
+class Engine {
+ public:
+  /// `clock` defaults to the process RealClock; the DES passes its SimClock.
+  explicit Engine(const Clock* clock = nullptr);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Lifecycle (docker create/start/stop/wait/rm) ------------------------
+
+  /// Validates the image, makes the cgroup, assigns id + pid. The container
+  /// is in kCreated state afterwards.
+  Result<std::string> Create(ContainerSpec spec);
+
+  /// Resolves plugin mounts, transitions to kRunning, and (threaded mode)
+  /// launches the entrypoint thread.
+  Status Start(const std::string& id);
+
+  /// Cooperative stop: sets the context's stop flag and waits for exit.
+  Status Stop(const std::string& id);
+
+  /// Blocks until the container exits; returns its exit code.
+  Result<int> Wait(const std::string& id);
+
+  /// Removes an exited/created container (docker rm).
+  Status Remove(const std::string& id);
+
+  /// External-execution mode: the driver declares the container exited.
+  Status MarkExited(const std::string& id, int exit_code);
+
+  // --- Introspection --------------------------------------------------------
+
+  [[nodiscard]] Result<ContainerInfo> Inspect(const std::string& id) const;
+  [[nodiscard]] std::vector<ContainerInfo> List() const;
+  [[nodiscard]] std::size_t running_count() const;
+
+  /// The context of a running container (entrypoints receive it directly;
+  /// external drivers may need it too). Lifetime: until Remove().
+  [[nodiscard]] Result<std::shared_ptr<ContainerContext>> Context(
+      const std::string& id) const;
+
+  // --- Extension points -----------------------------------------------------
+
+  void Subscribe(EventCallback callback);
+  /// `plugin` must outlive the engine.
+  void RegisterVolumePlugin(const std::string& driver, VolumePlugin* plugin);
+
+  [[nodiscard]] ImageRegistry& images() { return images_; }
+  [[nodiscard]] CgroupController& cgroups() { return cgroups_; }
+
+ private:
+  struct Record {
+    ContainerSpec spec;
+    ContainerInfo info;
+    std::shared_ptr<ContainerContext> context;
+    std::thread thread;
+    bool thread_done = false;  // set by the entrypoint thread at exit
+    std::vector<Mount> resolved_mounts;
+  };
+
+  [[nodiscard]] TimePoint Now() const;
+  void Emit(const ContainerEvent& event);
+  /// Common exit path: state transition, unmounts, kDie + unmount events.
+  void FinishLocked(std::unique_lock<std::mutex>& lock, Record& record,
+                    int exit_code);
+  Result<Record*> FindLocked(const std::string& id);
+  Status JoinThread(const std::string& id);
+
+  const Clock* clock_;
+  ImageRegistry images_;
+  CgroupController cgroups_;
+  IdGenerator pid_gen_;
+  IdGenerator id_gen_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Record>> records_;
+  std::vector<EventCallback> subscribers_;
+  std::map<std::string, VolumePlugin*> plugins_;
+};
+
+}  // namespace convgpu::containersim

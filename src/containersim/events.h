@@ -1,0 +1,35 @@
+// Engine event bus (the `docker events` analogue).
+//
+// The nvidia-docker-plugin learns that a container stopped by observing its
+// dummy volume being unmounted (paper §III-B); the event bus carries that
+// unmount plus the ordinary lifecycle events.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+
+namespace convgpu::containersim {
+
+enum class EventType {
+  kCreate,
+  kStart,
+  kDie,           // entrypoint finished or container stopped
+  kDestroy,       // removed
+  kVolumeMount,   // plugin volume attached
+  kVolumeUnmount, // plugin volume detached (fires on exit)
+};
+
+std::string_view EventTypeName(EventType type);
+
+struct ContainerEvent {
+  EventType type;
+  std::string container_id;
+  std::string detail;  // volume name for volume events, exit code for kDie
+  TimePoint time = kTimeZero;
+};
+
+using EventCallback = std::function<void(const ContainerEvent&)>;
+
+}  // namespace convgpu::containersim

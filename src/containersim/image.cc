@@ -1,0 +1,33 @@
+#include "containersim/image.h"
+
+namespace convgpu::containersim {
+
+void ImageRegistry::Put(Image image) {
+  images_.insert_or_assign(image.name, std::move(image));
+}
+
+Result<Image> ImageRegistry::Find(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFoundError("no such image: " + name);
+  }
+  return it->second;
+}
+
+bool ImageRegistry::Contains(const std::string& name) const {
+  return images_.contains(name);
+}
+
+Image ImageRegistry::CudaImage(std::string name, std::string cuda_version,
+                               std::optional<std::string> memory_limit) {
+  Image image;
+  image.name = std::move(name);
+  image.labels[kLabelVolumesNeeded] = "nvidia_driver";
+  image.labels[kLabelCudaVersion] = std::move(cuda_version);
+  if (memory_limit) {
+    image.labels[kLabelMemoryLimit] = *memory_limit;
+  }
+  return image;
+}
+
+}  // namespace convgpu::containersim

@@ -1,0 +1,61 @@
+// Container images: named bundles of metadata.
+//
+// ConVGPU reads two things from a Docker image: the NVIDIA labels
+// (com.nvidia.volumes.needed / com.nvidia.cuda.version) that tell
+// nvidia-docker the image wants a GPU, and the com.nvidia.memory.limit
+// label that supplies a default GPU memory limit (paper §III-B). The image
+// model carries exactly that metadata.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace convgpu::containersim {
+
+/// Well-known label keys from the paper.
+inline constexpr char kLabelVolumesNeeded[] = "com.nvidia.volumes.needed";
+inline constexpr char kLabelCudaVersion[] = "com.nvidia.cuda.version";
+inline constexpr char kLabelMemoryLimit[] = "com.nvidia.memory.limit";
+
+struct Image {
+  std::string name;  // e.g. "tensorflow/mnist:latest"
+  std::map<std::string, std::string> labels;
+  std::map<std::string, std::string> default_env;
+
+  [[nodiscard]] std::optional<std::string> Label(const std::string& key) const {
+    auto it = labels.find(key);
+    if (it == labels.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// True when the image declares it needs the NVIDIA driver volume —
+  /// nvidia-docker only rewrites the command for such images.
+  [[nodiscard]] bool NeedsGpu() const {
+    return labels.contains(kLabelVolumesNeeded) ||
+           labels.contains(kLabelCudaVersion);
+  }
+};
+
+/// Local image store (the engine's side of `docker pull`/`docker images`).
+class ImageRegistry {
+ public:
+  /// Adds or replaces an image.
+  void Put(Image image);
+
+  [[nodiscard]] Result<Image> Find(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return images_.size(); }
+
+  /// Registers a CUDA image preset: labels set the GPU requirements and
+  /// optionally the memory-limit default.
+  static Image CudaImage(std::string name, std::string cuda_version = "8.0",
+                         std::optional<std::string> memory_limit = std::nullopt);
+
+ private:
+  std::map<std::string, Image> images_;
+};
+
+}  // namespace convgpu::containersim

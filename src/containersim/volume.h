@@ -1,0 +1,29 @@
+// Volume plugins (the Docker legacy volume-plugin interface, §II-D).
+//
+// nvidia-docker-plugin is exactly this kind of plugin: it serves driver
+// volumes and notices unmounts. The engine calls Mount when a container
+// with a plugin-driven mount starts and Unmount when it dies.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace convgpu::containersim {
+
+class VolumePlugin {
+ public:
+  virtual ~VolumePlugin() = default;
+
+  /// Resolves `volume_name` for `container_id`; returns the host source
+  /// path to bind. Called when the container starts.
+  virtual Result<std::string> Mount(const std::string& volume_name,
+                                    const std::string& container_id) = 0;
+
+  /// Called when the container dies and the volume is released — this is
+  /// the exit signal the ConVGPU plugin relies on.
+  virtual void Unmount(const std::string& volume_name,
+                       const std::string& container_id) = 0;
+};
+
+}  // namespace convgpu::containersim

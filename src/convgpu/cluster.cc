@@ -1,0 +1,146 @@
+#include "convgpu/cluster.h"
+
+#include "common/log.h"
+
+namespace convgpu {
+
+namespace {
+constexpr char kTag[] = "cluster";
+}
+
+ClusterScheduler::ClusterScheduler(const std::vector<NodeSpec>& nodes,
+                                   SchedulerOptions base,
+                                   PlacementPolicy device_placement,
+                                   const Clock* clock)
+    : overhead_allowance_(base.first_alloc_overhead) {
+  nodes_.reserve(nodes.size());
+  for (const NodeSpec& spec : nodes) {
+    nodes_.push_back(Node{
+        spec.name,
+        std::make_unique<MultiGpuScheduler>(spec.devices, base,
+                                            device_placement, clock),
+        0});
+  }
+}
+
+Result<ClusterScheduler::Placement> ClusterScheduler::RegisterContainer(
+    const std::string& id, std::optional<Bytes> limit) {
+  std::size_t chosen = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (node_of_.contains(id)) {
+      return AlreadyExistsError("container already placed: " + id);
+    }
+    if (nodes_.empty()) return FailedPreconditionError("no nodes");
+
+    const Bytes demand = limit.value_or(1 * kGiB) + overhead_allowance_;
+    // Greedy best-fit across nodes on total free GPU memory; ties go to the
+    // node with fewer placed containers (spread).
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Bytes free = nodes_[i].scheduler->total_free_pool();
+      if (free < demand) continue;
+      if (!best) {
+        best = i;
+        continue;
+      }
+      const Bytes best_free = nodes_[*best].scheduler->total_free_pool();
+      if (free < best_free ||
+          (free == best_free && nodes_[i].placed < nodes_[*best].placed)) {
+        best = i;
+      }
+    }
+    if (!best) {
+      // Oversubscribed everywhere: the node with the most free memory
+      // absorbs the container through suspension.
+      Bytes most = -1;
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Bytes free = nodes_[i].scheduler->total_free_pool();
+        if (free > most) {
+          most = free;
+          best = i;
+        }
+      }
+    }
+    chosen = *best;
+    node_of_[id] = chosen;
+    ++nodes_[chosen].placed;
+  }
+
+  auto device = nodes_[chosen].scheduler->RegisterContainer(id, limit);
+  if (!device.ok()) {
+    std::lock_guard lock(mutex_);
+    node_of_.erase(id);
+    --nodes_[chosen].placed;
+    return device.status();
+  }
+  CONVGPU_LOG(kInfo, kTag) << "placed " << id << " on node "
+                           << nodes_[chosen].name << " device " << *device;
+  return Placement{nodes_[chosen].name, *device};
+}
+
+Result<ClusterScheduler::Node*> ClusterScheduler::NodeFor(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  auto it = node_of_.find(id);
+  if (it == node_of_.end()) return NotFoundError("container not placed: " + id);
+  return &nodes_[it->second];
+}
+
+Status ClusterScheduler::ContainerClose(const std::string& id) {
+  auto node = NodeFor(id);
+  if (!node.ok()) return node.status();
+  const Status status = (*node)->scheduler->ContainerClose(id);
+  std::lock_guard lock(mutex_);
+  auto it = node_of_.find(id);
+  if (it != node_of_.end()) {
+    --nodes_[it->second].placed;
+    node_of_.erase(it);
+  }
+  return status;
+}
+
+void ClusterScheduler::RequestAlloc(const std::string& id, Pid pid, Bytes size,
+                                    GrantCallback done) {
+  auto node = NodeFor(id);
+  if (!node.ok()) {
+    if (done) done(node.status());
+    return;
+  }
+  (*node)->scheduler->RequestAlloc(id, pid, size, std::move(done));
+}
+
+Status ClusterScheduler::CommitAlloc(const std::string& id, Pid pid,
+                                     std::uint64_t address, Bytes size) {
+  auto node = NodeFor(id);
+  if (!node.ok()) return node.status();
+  return (*node)->scheduler->CommitAlloc(id, pid, address, size);
+}
+
+Status ClusterScheduler::FreeAlloc(const std::string& id, Pid pid,
+                                   std::uint64_t address) {
+  auto node = NodeFor(id);
+  if (!node.ok()) return node.status();
+  return (*node)->scheduler->FreeAlloc(id, pid, address);
+}
+
+Status ClusterScheduler::ProcessExit(const std::string& id, Pid pid) {
+  auto node = NodeFor(id);
+  if (!node.ok()) return node.status();
+  return (*node)->scheduler->ProcessExit(id, pid);
+}
+
+MultiGpuScheduler& ClusterScheduler::node(const std::string& name) {
+  for (auto& node : nodes_) {
+    if (node.name == name) return *node.scheduler;
+  }
+  std::abort();  // programming error: unknown node
+}
+
+Status ClusterScheduler::CheckInvariants() const {
+  for (const auto& node : nodes_) {
+    CONVGPU_RETURN_IF_ERROR(node.scheduler->CheckInvariants());
+  }
+  return Status::Ok();
+}
+
+}  // namespace convgpu

@@ -1,0 +1,68 @@
+// Cluster extension (the paper's §V further step: "adopt the ConVGPU in
+// the clustering system like Docker Swarm").
+//
+// A Swarm-style two-level placer: nodes each expose a MultiGpuScheduler;
+// the cluster scheduler picks a node (greedy: the node whose total free
+// GPU memory fits the container most tightly, ties broken by fewest placed
+// containers), then delegates device placement to that node. The protocol
+// surface routes by container, so the nvidia-docker front-end of a swarm
+// manager could drive this object directly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "convgpu/multigpu.h"
+
+namespace convgpu {
+
+class ClusterScheduler {
+ public:
+  struct NodeSpec {
+    std::string name;
+    std::vector<MultiGpuScheduler::DeviceSpec> devices;
+  };
+
+  struct Placement {
+    std::string node;
+    int device_id = 0;
+  };
+
+  ClusterScheduler(const std::vector<NodeSpec>& nodes, SchedulerOptions base,
+                   PlacementPolicy device_placement = PlacementPolicy::kMostFree,
+                   const Clock* clock = nullptr);
+
+  /// Node + device selection and registration.
+  Result<Placement> RegisterContainer(const std::string& id,
+                                      std::optional<Bytes> limit);
+  Status ContainerClose(const std::string& id);
+  void RequestAlloc(const std::string& id, Pid pid, Bytes size,
+                    GrantCallback done);
+  Status CommitAlloc(const std::string& id, Pid pid, std::uint64_t address,
+                     Bytes size);
+  Status FreeAlloc(const std::string& id, Pid pid, std::uint64_t address);
+  Status ProcessExit(const std::string& id, Pid pid);
+
+  [[nodiscard]] MultiGpuScheduler& node(const std::string& name);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::unique_ptr<MultiGpuScheduler> scheduler;
+    std::size_t placed = 0;
+  };
+
+  Result<Node*> NodeFor(const std::string& id);
+
+  Bytes overhead_allowance_;
+  std::vector<Node> nodes_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::size_t> node_of_;
+};
+
+}  // namespace convgpu

@@ -1,0 +1,25 @@
+// ConVGPU public umbrella header.
+//
+// Typical embedding (see examples/quickstart.cpp):
+//
+//   convgpu::cudasim::GpuDevice gpu(0, convgpu::cudasim::TeslaK20m());
+//   convgpu::SchedulerServer scheduler({.base_dir = "/tmp/convgpu"});
+//   scheduler.Start();
+//   convgpu::containersim::Engine engine;
+//   convgpu::NvDockerPlugin plugin({.scheduler_socket = scheduler.main_socket_path()});
+//   engine.RegisterVolumePlugin("nvidia-docker", &plugin);
+//   convgpu::NvDocker nvdocker({.engine = &engine,
+//                               .scheduler_socket = scheduler.main_socket_path()});
+//   nvdocker.Run({.image = "cuda-app", .nvidia_memory = "512MiB",
+//                 .entrypoint = my_workload});
+#pragma once
+
+#include "convgpu/ledger.h"            // IWYU pragma: export
+#include "convgpu/nvdocker.h"          // IWYU pragma: export
+#include "convgpu/plugin.h"            // IWYU pragma: export
+#include "convgpu/policy.h"            // IWYU pragma: export
+#include "convgpu/protocol.h"          // IWYU pragma: export
+#include "convgpu/scheduler_core.h"    // IWYU pragma: export
+#include "convgpu/scheduler_link.h"    // IWYU pragma: export
+#include "convgpu/scheduler_server.h"  // IWYU pragma: export
+#include "convgpu/wrapper_core.h"      // IWYU pragma: export

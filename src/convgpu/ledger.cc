@@ -1,0 +1,255 @@
+#include "convgpu/ledger.h"
+
+#include <algorithm>
+
+namespace convgpu {
+
+Result<ContainerAccount*> MemoryLedger::FindMutable(const std::string& id) {
+  auto it = accounts_.find(id);
+  if (it == accounts_.end()) {
+    return NotFoundError("unknown container: " + id);
+  }
+  return &it->second;
+}
+
+const ContainerAccount* MemoryLedger::Find(const std::string& id) const {
+  auto it = accounts_.find(id);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ContainerAccount*> MemoryLedger::Containers() const {
+  std::vector<const ContainerAccount*> result;
+  result.reserve(accounts_.size());
+  for (const auto& [id, account] : accounts_) result.push_back(&account);
+  return result;
+}
+
+Bytes MemoryLedger::free_pool() const {
+  Bytes assigned = 0;
+  for (const auto& [id, account] : accounts_) assigned += account.assigned;
+  return capacity_ - assigned;
+}
+
+Status MemoryLedger::Register(const std::string& id, Bytes limit,
+                              Bytes overhead_allowance, TimePoint now) {
+  if (limit <= 0 || overhead_allowance < 0) {
+    return InvalidArgumentError("memory limit must be positive");
+  }
+  const Bytes device_limit = limit + overhead_allowance;
+  if (device_limit > capacity_) {
+    return InvalidArgumentError(
+        "memory limit " + FormatByteSize(limit) + " (+" +
+        FormatByteSize(overhead_allowance) + " overhead) exceeds GPU capacity " +
+        FormatByteSize(capacity_) + "; the container could never run");
+  }
+  if (accounts_.contains(id)) {
+    return AlreadyExistsError("container already registered: " + id);
+  }
+  ContainerAccount account;
+  account.id = id;
+  account.declared_limit = limit;
+  account.limit = device_limit;
+  account.created_at = now;
+  account.assigned = std::min(device_limit, free_pool());
+  accounts_.emplace(id, std::move(account));
+  return Status::Ok();
+}
+
+Status MemoryLedger::Close(const std::string& id, TimePoint now) {
+  auto account = FindMutable(id);
+  if (!account.ok()) return account.status();
+  if ((*account)->suspended) MarkResumed(id, now);
+  accounts_.erase(id);
+  return Status::Ok();
+}
+
+Status MemoryLedger::Reserve(const std::string& id, Bytes size) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  if (size <= 0) return InvalidArgumentError("reserve size must be positive");
+  if (account.used + size > account.limit) {
+    return InvalidArgumentError(
+        "allocation of " + FormatByteSize(size) + " would exceed limit " +
+        FormatByteSize(account.limit) + " (used " +
+        FormatByteSize(account.used) + ")");
+  }
+  if (account.used + size > account.assigned) {
+    return ResourceExhaustedError("insufficient assigned memory");
+  }
+  account.used += size;
+  account.reserved_in_flight += size;
+  return Status::Ok();
+}
+
+Status MemoryLedger::Unreserve(const std::string& id, Bytes size) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  if (size <= 0 || size > account.reserved_in_flight) {
+    return InvalidArgumentError("unreserve without matching reserve");
+  }
+  account.used -= size;
+  account.reserved_in_flight -= size;
+  return Status::Ok();
+}
+
+Status MemoryLedger::Commit(const std::string& id, Pid pid,
+                            std::uint64_t address, Bytes size) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  if (size <= 0 || size > account.reserved_in_flight) {
+    return InvalidArgumentError("commit without matching reserve");
+  }
+  PidAccount& pid_account = account.pids[pid];
+  auto [it, inserted] = pid_account.allocations.emplace(address, size);
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("duplicate allocation address");
+  }
+  account.reserved_in_flight -= size;
+  return Status::Ok();
+}
+
+Result<Bytes> MemoryLedger::Free(const std::string& id, Pid pid,
+                                 std::uint64_t address) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  auto pid_it = account.pids.find(pid);
+  if (pid_it == account.pids.end()) {
+    return NotFoundError("no allocations for pid");
+  }
+  auto alloc_it = pid_it->second.allocations.find(address);
+  if (alloc_it == pid_it->second.allocations.end()) {
+    return NotFoundError("no allocation at address");
+  }
+  const Bytes size = alloc_it->second;
+  pid_it->second.allocations.erase(alloc_it);
+  account.used -= size;
+  return size;
+}
+
+Bytes MemoryLedger::OverheadDue(const std::string& id, Pid pid,
+                                Bytes overhead) const {
+  const ContainerAccount* account = Find(id);
+  if (account == nullptr) return 0;
+  auto it = account->pids.find(pid);
+  if (it != account->pids.end() && it->second.overhead_charged) return 0;
+  return overhead;
+}
+
+Status MemoryLedger::ChargeOverhead(const std::string& id, Pid pid,
+                                    Bytes overhead) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  PidAccount& pid_account = account.pids[pid];
+  if (pid_account.overhead_charged) {
+    return AlreadyExistsError("overhead already charged for pid");
+  }
+  if (overhead > account.reserved_in_flight) {
+    return InvalidArgumentError("overhead charge without matching reserve");
+  }
+  pid_account.overhead_charged = true;
+  account.reserved_in_flight -= overhead;
+  account.overhead_charged += overhead;
+  return Status::Ok();
+}
+
+Result<Bytes> MemoryLedger::ProcessExit(const std::string& id, Pid pid,
+                                        Bytes overhead) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  auto it = account.pids.find(pid);
+  if (it == account.pids.end()) return Bytes{0};
+  Bytes released = 0;
+  for (const auto& [address, size] : it->second.allocations) released += size;
+  if (it->second.overhead_charged) {
+    released += overhead;
+    account.overhead_charged -= overhead;
+  }
+  account.used -= released;
+  account.pids.erase(it);
+  return released;
+}
+
+Status MemoryLedger::TopUp(const std::string& id, Bytes bytes) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return result.status();
+  ContainerAccount& account = **result;
+  if (bytes <= 0) return InvalidArgumentError("top-up must be positive");
+  if (bytes > free_pool()) {
+    return ResourceExhaustedError("top-up exceeds free pool");
+  }
+  if (account.assigned + bytes > account.limit) {
+    return InvalidArgumentError("top-up beyond container limit");
+  }
+  account.assigned += bytes;
+  return Status::Ok();
+}
+
+Bytes MemoryLedger::ReclaimUnusedAssignment(const std::string& id) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return 0;
+  ContainerAccount& account = **result;
+  const Bytes reclaimed = account.assigned - account.used;
+  account.assigned = account.used;
+  return reclaimed;
+}
+
+void MemoryLedger::MarkSuspended(const std::string& id, TimePoint now) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return;
+  ContainerAccount& account = **result;
+  if (account.suspended) return;
+  account.suspended = true;
+  account.suspended_since = now;
+  account.last_suspended_at = now;
+  ++account.suspend_episodes;
+}
+
+void MemoryLedger::MarkResumed(const std::string& id, TimePoint now) {
+  auto result = FindMutable(id);
+  if (!result.ok()) return;
+  ContainerAccount& account = **result;
+  if (!account.suspended) return;
+  account.suspended = false;
+  account.total_suspended += now - account.suspended_since;
+}
+
+Status MemoryLedger::CheckInvariants() const {
+  Bytes total_assigned = 0;
+  for (const auto& [id, account] : accounts_) {
+    if (account.assigned < 0 || account.assigned > account.limit) {
+      return InternalError("assigned out of [0, limit] for " + id);
+    }
+    if (account.used < 0 || account.used > account.assigned) {
+      return InternalError("used out of [0, assigned] for " + id);
+    }
+    Bytes committed = account.reserved_in_flight;
+    for (const auto& [pid, pid_account] : account.pids) {
+      for (const auto& [address, size] : pid_account.allocations) {
+        committed += size;
+      }
+    }
+    // `used` also contains per-pid overhead charges; committed plus those
+    // charges must equal used exactly.
+    if (account.used - committed != account.overhead_charged) {
+      return InternalError("used does not decompose into allocations + "
+                           "overhead for " + id);
+    }
+    if (account.declared_limit > account.limit) {
+      return InternalError("declared limit exceeds device limit for " + id);
+    }
+    total_assigned += account.assigned;
+  }
+  if (total_assigned > capacity_) {
+    return InternalError("sum of assigned exceeds capacity");
+  }
+  return Status::Ok();
+}
+
+}  // namespace convgpu

@@ -1,0 +1,145 @@
+// MemoryLedger: the scheduler's book-keeping of GPU memory.
+//
+// Terminology (paper §III-D/E, Fig. 3):
+//   limit     L — the GPU memory the container declared at creation
+//                 (--nvidia-memory / image label / 1 GiB default);
+//   assigned  A — the reservation the scheduler has granted, 0 <= A <= L;
+//   used      U — memory actually charged: committed allocations plus
+//                 reservations for in-flight allocation calls, U <= A.
+// Device-wide invariant: sum of assigned <= capacity. A container may run
+// while U <= A; an allocation pushing U past A suspends until the
+// scheduler raises A (possible only up to L, so admission of the limit is
+// what makes the guarantee deadlock-free).
+//
+// The ledger also charges the driver's first-allocation overhead (64 MiB
+// process state + 2 MiB context, §III-D) per pid, and keeps the
+// per-container suspension statistics Table V reports.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace convgpu {
+
+/// One pid's allocations inside a container, keyed by device address.
+struct PidAccount {
+  std::map<std::uint64_t, Bytes> allocations;
+  bool overhead_charged = false;
+};
+
+struct ContainerAccount {
+  std::string id;
+  /// The user-declared limit (--nvidia-memory / label / default).
+  Bytes declared_limit = 0;
+  /// Device-side admission limit: declared limit plus the per-container
+  /// overhead allowance, so a program that allocates exactly its declared
+  /// maximum (like the paper's evaluation sample) still fits once the
+  /// driver's 66 MiB first-allocation charge lands.
+  Bytes limit = 0;
+  Bytes assigned = 0;
+  Bytes used = 0;  // committed + reserved in-flight
+  TimePoint created_at = kTimeZero;
+  TimePoint last_suspended_at = kTimeZero;
+
+  std::map<Pid, PidAccount> pids;
+  Bytes reserved_in_flight = 0;
+  /// Total driver overhead currently charged (for the virtualized
+  /// cudaMemGetInfo view, which reports user-visible numbers only).
+  Bytes overhead_charged = 0;
+
+  // Suspension statistics (Table V).
+  bool suspended = false;
+  TimePoint suspended_since = kTimeZero;
+  Duration total_suspended = Duration::zero();
+  std::uint64_t suspend_episodes = 0;
+
+  [[nodiscard]] Bytes insufficient() const { return limit - assigned; }
+  [[nodiscard]] Bytes headroom() const { return assigned - used; }
+};
+
+class MemoryLedger {
+ public:
+  explicit MemoryLedger(Bytes capacity) : capacity_(capacity) {}
+
+  /// Registers a container with declared limit L; the device-side limit is
+  /// L + overhead_allowance. Immediately assigns min(device limit, free
+  /// pool) (Fig. 3b: partial assignment at creation). kAlreadyExists on
+  /// duplicate ids; kInvalidArgument if the device limit exceeds capacity
+  /// (such a container could never be satisfied — admission must refuse it
+  /// or the deadlock-freedom argument breaks).
+  Status Register(const std::string& id, Bytes limit, Bytes overhead_allowance,
+                  TimePoint now);
+
+  /// Removes the container entirely, returning all assigned memory to the
+  /// free pool (the plugin's *close* signal).
+  Status Close(const std::string& id, TimePoint now);
+
+  /// Reserves `size` bytes of `id`'s assignment for an in-flight
+  /// allocation. Fails kResourceExhausted if U + size > A (the caller then
+  /// suspends the request) and kInvalidArgument if U + size > L (the
+  /// caller rejects the allocation outright).
+  Status Reserve(const std::string& id, Bytes size);
+  /// Releases a reservation without committing (allocation failed inside
+  /// the container).
+  Status Unreserve(const std::string& id, Bytes size);
+
+  /// Converts reservation into a committed allocation at `address`.
+  Status Commit(const std::string& id, Pid pid, std::uint64_t address,
+                Bytes size);
+  /// Frees a committed allocation; returns its size.
+  Result<Bytes> Free(const std::string& id, Pid pid, std::uint64_t address);
+
+  /// First-allocation overhead handling: returns the extra bytes to charge
+  /// if `pid` has not allocated before (0 otherwise). MarkOverheadCharged
+  /// records the charge after a successful reserve+commit.
+  [[nodiscard]] Bytes OverheadDue(const std::string& id, Pid pid,
+                                  Bytes overhead) const;
+  Status ChargeOverhead(const std::string& id, Pid pid, Bytes overhead);
+
+  /// Drops every allocation (and the overhead) owned by `pid` — backing
+  /// __cudaUnregisterFatBinary. Returns bytes released. The container's
+  /// assignment is NOT reduced; it keeps its guarantee until close.
+  Result<Bytes> ProcessExit(const std::string& id, Pid pid, Bytes overhead);
+
+  /// Raises `id`'s assignment by `bytes` from the free pool.
+  Status TopUp(const std::string& id, Bytes bytes);
+
+  /// Lowers `id`'s assignment to its current usage, returning the reclaimed
+  /// bytes to the free pool. Only meaningful for *suspended* containers:
+  /// they are blocked inside an allocation call and cannot consume their
+  /// headroom, so the reservation is revocable without breaking any
+  /// promise. This is what keeps redistribution deadlock-free — free
+  /// memory can always be re-concentrated onto one container instead of
+  /// being stranded as unusable partial assignments.
+  Bytes ReclaimUnusedAssignment(const std::string& id);
+
+  /// Marks suspension state transitions for the Table V statistics.
+  void MarkSuspended(const std::string& id, TimePoint now);
+  void MarkResumed(const std::string& id, TimePoint now);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  /// capacity − Σ assigned.
+  [[nodiscard]] Bytes free_pool() const;
+  [[nodiscard]] const ContainerAccount* Find(const std::string& id) const;
+  [[nodiscard]] std::vector<const ContainerAccount*> Containers() const;
+  [[nodiscard]] std::size_t container_count() const { return accounts_.size(); }
+
+  /// Internal-consistency check used by property tests: all per-container
+  /// invariants plus the capacity invariant.
+  [[nodiscard]] Status CheckInvariants() const;
+
+ private:
+  Result<ContainerAccount*> FindMutable(const std::string& id);
+
+  Bytes capacity_;
+  std::map<std::string, ContainerAccount> accounts_;
+};
+
+}  // namespace convgpu

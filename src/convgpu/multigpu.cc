@@ -1,0 +1,235 @@
+#include "convgpu/multigpu.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace convgpu {
+
+namespace {
+constexpr char kTag[] = "multigpu";
+}
+
+std::string_view PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kMostFree:
+      return "most-free";
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+MultiGpuScheduler::MultiGpuScheduler(const std::vector<DeviceSpec>& devices,
+                                     SchedulerOptions base,
+                                     PlacementPolicy placement,
+                                     const Clock* clock)
+    : placement_(placement), overhead_allowance_(base.first_alloc_overhead) {
+  devices_.reserve(devices.size());
+  for (const DeviceSpec& spec : devices) {
+    SchedulerOptions options = base;
+    options.capacity = spec.capacity;
+    // Decorrelate the Random policy across devices.
+    options.policy_seed = base.policy_seed + static_cast<std::uint64_t>(spec.device_id);
+    devices_.push_back(
+        Device{spec.device_id, std::make_unique<SchedulerCore>(options, clock)});
+  }
+}
+
+Result<std::size_t> MultiGpuScheduler::PlaceLocked(Bytes demand) {
+  if (devices_.empty()) {
+    return FailedPreconditionError("no devices configured");
+  }
+  switch (placement_) {
+    case PlacementPolicy::kRoundRobin: {
+      // Rotate, but skip devices that could never hold the container.
+      for (std::size_t attempt = 0; attempt < devices_.size(); ++attempt) {
+        const std::size_t index =
+            (round_robin_next_ + attempt) % devices_.size();
+        if (devices_[index].core->capacity() >= demand) {
+          round_robin_next_ = index + 1;
+          return index;
+        }
+      }
+      break;
+    }
+    case PlacementPolicy::kMostFree: {
+      std::optional<std::size_t> best;
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        if (devices_[i].core->capacity() < demand) continue;
+        if (!best ||
+            devices_[i].core->free_pool() > devices_[*best].core->free_pool()) {
+          best = i;
+        }
+      }
+      if (best) return *best;
+      break;
+    }
+    case PlacementPolicy::kBestFit: {
+      // Tightest free pool that still covers the demand *now*; fall back to
+      // the overall tightest capable device (its queue will absorb the
+      // container via suspension).
+      std::optional<std::size_t> tight;
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        if (devices_[i].core->free_pool() < demand) continue;
+        if (!tight ||
+            devices_[i].core->free_pool() < devices_[*tight].core->free_pool()) {
+          tight = i;
+        }
+      }
+      if (tight) return *tight;
+      std::optional<std::size_t> capable;
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        if (devices_[i].core->capacity() < demand) continue;
+        if (!capable || devices_[i].core->free_pool() >
+                            devices_[*capable].core->free_pool()) {
+          capable = i;
+        }
+      }
+      if (capable) return *capable;
+      break;
+    }
+  }
+  return ResourceExhaustedError("no device can hold " + FormatByteSize(demand));
+}
+
+Result<int> MultiGpuScheduler::RegisterContainer(const std::string& id,
+                                                 std::optional<Bytes> limit) {
+  std::size_t index = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (placement_of_.contains(id)) {
+      return AlreadyExistsError("container already placed: " + id);
+    }
+    const Bytes declared =
+        limit.value_or(devices_.empty() ? Bytes{0}
+                                        : devices_[0].core->default_limit());
+    auto placed = PlaceLocked(declared + overhead_allowance_);
+    if (!placed.ok()) return placed.status();
+    index = *placed;
+    placement_of_[id] = index;
+  }
+  auto status = devices_[index].core->RegisterContainer(id, limit);
+  if (!status.ok()) {
+    std::lock_guard lock(mutex_);
+    placement_of_.erase(id);
+    return status;
+  }
+  CONVGPU_LOG(kInfo, kTag) << "placed " << id << " on device "
+                           << devices_[index].id << " ("
+                           << PlacementPolicyName(placement_) << ")";
+  return devices_[index].id;
+}
+
+Result<int> MultiGpuScheduler::DeviceOf(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  auto it = placement_of_.find(id);
+  if (it == placement_of_.end()) {
+    return NotFoundError("container not placed: " + id);
+  }
+  return devices_[it->second].id;
+}
+
+Result<SchedulerCore*> MultiGpuScheduler::CoreFor(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  auto it = placement_of_.find(id);
+  if (it == placement_of_.end()) {
+    return NotFoundError("container not placed: " + id);
+  }
+  return devices_[it->second].core.get();
+}
+
+void MultiGpuScheduler::RequestAlloc(const std::string& id, Pid pid, Bytes size,
+                                     GrantCallback done) {
+  auto core = CoreFor(id);
+  if (!core.ok()) {
+    if (done) done(core.status());
+    return;
+  }
+  (*core)->RequestAlloc(id, pid, size, std::move(done));
+}
+
+Status MultiGpuScheduler::CommitAlloc(const std::string& id, Pid pid,
+                                      std::uint64_t address, Bytes size) {
+  auto core = CoreFor(id);
+  if (!core.ok()) return core.status();
+  return (*core)->CommitAlloc(id, pid, address, size);
+}
+
+Status MultiGpuScheduler::AbortAlloc(const std::string& id, Pid pid, Bytes size) {
+  auto core = CoreFor(id);
+  if (!core.ok()) return core.status();
+  return (*core)->AbortAlloc(id, pid, size);
+}
+
+Status MultiGpuScheduler::FreeAlloc(const std::string& id, Pid pid,
+                                    std::uint64_t address) {
+  auto core = CoreFor(id);
+  if (!core.ok()) return core.status();
+  return (*core)->FreeAlloc(id, pid, address);
+}
+
+Result<MemInfoReply> MultiGpuScheduler::MemGetInfo(const std::string& id) {
+  auto core = CoreFor(id);
+  if (!core.ok()) return core.status();
+  return (*core)->MemGetInfo(id);
+}
+
+Status MultiGpuScheduler::ProcessExit(const std::string& id, Pid pid) {
+  auto core = CoreFor(id);
+  if (!core.ok()) return core.status();
+  return (*core)->ProcessExit(id, pid);
+}
+
+Status MultiGpuScheduler::ContainerClose(const std::string& id) {
+  auto core = CoreFor(id);
+  if (!core.ok()) return core.status();
+  const Status status = (*core)->ContainerClose(id);
+  std::lock_guard lock(mutex_);
+  placement_of_.erase(id);
+  return status;
+}
+
+SchedulerCore& MultiGpuScheduler::device_core(int device_id) {
+  for (auto& device : devices_) {
+    if (device.id == device_id) return *device.core;
+  }
+  std::abort();  // programming error: unknown device id
+}
+
+std::optional<ContainerStatsSnapshot> MultiGpuScheduler::StatsFor(
+    const std::string& id) const {
+  std::size_t index = 0;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = placement_of_.find(id);
+    if (it == placement_of_.end()) return std::nullopt;
+    index = it->second;
+  }
+  return devices_[index].core->StatsFor(id);
+}
+
+std::size_t MultiGpuScheduler::pending_request_count() const {
+  std::size_t total = 0;
+  for (const auto& device : devices_) {
+    total += device.core->pending_request_count();
+  }
+  return total;
+}
+
+Bytes MultiGpuScheduler::total_free_pool() const {
+  Bytes total = 0;
+  for (const auto& device : devices_) total += device.core->free_pool();
+  return total;
+}
+
+Status MultiGpuScheduler::CheckInvariants() const {
+  for (const auto& device : devices_) {
+    CONVGPU_RETURN_IF_ERROR(device.core->CheckInvariants());
+  }
+  return Status::Ok();
+}
+
+}  // namespace convgpu

@@ -1,0 +1,93 @@
+// Multi-GPU extension (the paper's §V future work: "extend the ConVGPU in
+// a multiple GPU with an appropriate algorithm").
+//
+// One SchedulerCore per device plus a placement stage: at registration the
+// container is pinned to a device chosen by the placement policy, and every
+// subsequent protocol message routes to that device's core. Placement
+// policies:
+//   kMostFree   — device with the largest free pool (load balancing)
+//   kBestFit    — device whose free pool fits the limit most tightly
+//                 (packing, leaves big devices free for big containers)
+//   kRoundRobin — rotate regardless of load (baseline)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "convgpu/scheduler_core.h"
+
+namespace convgpu {
+
+enum class PlacementPolicy { kMostFree, kBestFit, kRoundRobin };
+
+std::string_view PlacementPolicyName(PlacementPolicy policy);
+
+class MultiGpuScheduler {
+ public:
+  struct DeviceSpec {
+    int device_id = 0;
+    Bytes capacity = 5 * kGiB;
+  };
+
+  /// `base` supplies the per-device scheduling options (policy, overhead,
+  /// default limit); capacity comes from each DeviceSpec.
+  MultiGpuScheduler(const std::vector<DeviceSpec>& devices,
+                    SchedulerOptions base, PlacementPolicy placement,
+                    const Clock* clock = nullptr);
+
+  /// Places the container on a device and registers it there. Returns the
+  /// chosen device id. kResourceExhausted when no device could ever hold
+  /// the limit.
+  Result<int> RegisterContainer(const std::string& id,
+                                std::optional<Bytes> limit);
+
+  /// Device a container was placed on.
+  [[nodiscard]] Result<int> DeviceOf(const std::string& id) const;
+
+  // Routed protocol surface (same contracts as SchedulerCore).
+  void RequestAlloc(const std::string& id, Pid pid, Bytes size,
+                    GrantCallback done);
+  Status CommitAlloc(const std::string& id, Pid pid, std::uint64_t address,
+                     Bytes size);
+  Status AbortAlloc(const std::string& id, Pid pid, Bytes size);
+  Status FreeAlloc(const std::string& id, Pid pid, std::uint64_t address);
+  Result<MemInfoReply> MemGetInfo(const std::string& id);
+  Status ProcessExit(const std::string& id, Pid pid);
+  Status ContainerClose(const std::string& id);
+
+  [[nodiscard]] SchedulerCore& device_core(int device_id);
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  /// Stats of a placed container, from its device's core.
+  [[nodiscard]] std::optional<ContainerStatsSnapshot> StatsFor(
+      const std::string& id) const;
+  /// Suspended requests across all devices.
+  [[nodiscard]] std::size_t pending_request_count() const;
+  /// Total free assignable memory across devices.
+  [[nodiscard]] Bytes total_free_pool() const;
+  [[nodiscard]] Status CheckInvariants() const;
+
+ private:
+  struct Device {
+    int id;
+    std::unique_ptr<SchedulerCore> core;
+  };
+
+  Result<SchedulerCore*> CoreFor(const std::string& id);
+  /// Chooses a device for a container needing `demand` bytes (limit +
+  /// overhead allowance); mutex held.
+  Result<std::size_t> PlaceLocked(Bytes demand);
+
+  PlacementPolicy placement_;
+  Bytes overhead_allowance_;
+  std::vector<Device> devices_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::size_t> placement_of_;  // container -> index
+  std::size_t round_robin_next_ = 0;
+};
+
+}  // namespace convgpu

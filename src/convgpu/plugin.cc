@@ -1,0 +1,67 @@
+#include "convgpu/plugin.h"
+
+#include <filesystem>
+
+#include "common/log.h"
+#include "convgpu/nvdocker.h"
+#include "convgpu/protocol.h"
+#include "ipc/message_server.h"
+
+namespace convgpu {
+
+namespace {
+constexpr char kTag[] = "plugin";
+}
+
+Result<std::string> NvDockerPlugin::Mount(const std::string& volume_name,
+                                          const std::string& container_id) {
+  (void)container_id;
+  const std::string path = options_.volume_root + "/" + volume_name;
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return InternalError("cannot materialize volume " + volume_name + ": " +
+                         ec.message());
+  }
+  return path;
+}
+
+void NvDockerPlugin::SendClose(const std::string& scheduler_key) {
+  if (!options_.scheduler_socket.empty()) {
+    auto client = ipc::MessageClient::ConnectUnix(options_.scheduler_socket);
+    if (!client.ok()) {
+      CONVGPU_LOG(kError, kTag) << "cannot reach scheduler for close signal: "
+                                << client.status().ToString();
+      return;
+    }
+    protocol::ContainerClose close;
+    close.container_id = scheduler_key;
+    (void)(*client)->Send(protocol::Encode(protocol::Message(close)));
+    return;
+  }
+  if (options_.direct_core != nullptr) {
+    (void)options_.direct_core->ContainerClose(scheduler_key);
+  }
+}
+
+void NvDockerPlugin::Unmount(const std::string& volume_name,
+                             const std::string& container_id) {
+  (void)container_id;
+  // Only the dummy exit-detection volume carries the scheduler key; driver
+  // volume unmounts are uninteresting.
+  const std::string_view prefix = kExitVolumePrefix;
+  if (!volume_name.starts_with(prefix)) return;
+  const std::string key = volume_name.substr(prefix.size());
+  CONVGPU_LOG(kInfo, kTag) << "container " << key
+                           << " exited (dummy volume unmounted), sending close";
+  SendClose(key);
+  std::lock_guard lock(mutex_);
+  closed_.push_back(key);
+}
+
+std::vector<std::string> NvDockerPlugin::closed_containers() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace convgpu

@@ -1,0 +1,48 @@
+// NvDockerPlugin: the nvidia-docker-plugin analogue (paper §II-D, §III-B).
+//
+// A Docker volume plugin with two jobs:
+//  1. serve driver volumes ("nvidia_driver") to containers;
+//  2. watch the dummy exit-detection volume — when Docker unmounts it the
+//     container has stopped, and the plugin sends the scheduler a *close*
+//     signal for that container.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "containersim/volume.h"
+#include "convgpu/scheduler_core.h"
+
+namespace convgpu {
+
+class NvDockerPlugin final : public containersim::VolumePlugin {
+ public:
+  struct Options {
+    /// Host directory under which driver volumes are materialized.
+    std::string volume_root = "/tmp/convgpu-volumes";
+    /// Scheduler main socket for close signals; empty => use direct_core.
+    std::string scheduler_socket;
+    SchedulerCore* direct_core = nullptr;
+  };
+
+  explicit NvDockerPlugin(Options options) : options_(std::move(options)) {}
+
+  Result<std::string> Mount(const std::string& volume_name,
+                            const std::string& container_id) override;
+  void Unmount(const std::string& volume_name,
+               const std::string& container_id) override;
+
+  /// Containers whose close signal has been sent (for tests/metrics).
+  [[nodiscard]] std::vector<std::string> closed_containers() const;
+
+ private:
+  void SendClose(const std::string& scheduler_key);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> closed_;
+};
+
+}  // namespace convgpu

@@ -1,0 +1,65 @@
+#include "convgpu/policy.h"
+
+#include <cassert>
+
+namespace convgpu {
+
+std::size_t FifoPolicy::Select(std::span<const PausedContainer> paused,
+                               Bytes /*free_bytes*/) {
+  assert(!paused.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < paused.size(); ++i) {
+    if (paused[i].created_at < paused[best].created_at) best = i;
+  }
+  return best;
+}
+
+std::size_t BestFitPolicy::Select(std::span<const PausedContainer> paused,
+                                  Bytes free_bytes) {
+  assert(!paused.empty());
+  // First pass: the largest insufficiency that still fits in free memory
+  // ("closest, but not exceeding the remaining memory").
+  std::optional<std::size_t> fitting;
+  for (std::size_t i = 0; i < paused.size(); ++i) {
+    if (paused[i].insufficient > free_bytes) continue;
+    if (!fitting || paused[i].insufficient > paused[*fitting].insufficient) {
+      fitting = i;
+    }
+  }
+  if (fitting) return *fitting;
+
+  // Nothing fits: the least-insufficient container (it gets a partial
+  // assignment and stays suspended — Fig. 3d's container D).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < paused.size(); ++i) {
+    if (paused[i].insufficient < paused[best].insufficient) best = i;
+  }
+  return best;
+}
+
+std::size_t RecentUsePolicy::Select(std::span<const PausedContainer> paused,
+                                    Bytes /*free_bytes*/) {
+  assert(!paused.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < paused.size(); ++i) {
+    if (paused[i].suspended_at > paused[best].suspended_at) best = i;
+  }
+  return best;
+}
+
+std::size_t RandomPolicy::Select(std::span<const PausedContainer> paused,
+                                 Bytes /*free_bytes*/) {
+  assert(!paused.empty());
+  return static_cast<std::size_t>(rng_.UniformBelow(paused.size()));
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(std::string_view name,
+                                             std::uint64_t seed) {
+  if (name == "FIFO") return std::make_unique<FifoPolicy>();
+  if (name == "BF") return std::make_unique<BestFitPolicy>();
+  if (name == "RU") return std::make_unique<RecentUsePolicy>();
+  if (name == "Rand") return std::make_unique<RandomPolicy>(seed);
+  return nullptr;
+}
+
+}  // namespace convgpu

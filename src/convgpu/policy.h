@@ -1,0 +1,84 @@
+// Scheduling policies: who gets memory when a container releases it.
+//
+// The paper deploys four algorithms (§III-D) and finds Best-Fit fastest on
+// overall finish time but worst on per-container suspended time at high
+// load (Figs. 7/8). Each policy picks one *paused* container; the core then
+// assigns min(insufficient, free) to it and repeats while memory remains.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace convgpu {
+
+/// What a policy may inspect about each paused container.
+struct PausedContainer {
+  std::string id;
+  TimePoint created_at;     // FIFO key
+  TimePoint suspended_at;   // Recent-Use key
+  Bytes insufficient;       // limit − assigned: what it still needs, BF key
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Chooses among `paused` (non-empty) given `free_bytes` available.
+  /// Returns the index of the chosen container.
+  [[nodiscard]] virtual std::size_t Select(
+      std::span<const PausedContainer> paused, Bytes free_bytes) = 0;
+};
+
+/// First-in, first-out: the oldest-created paused container.
+class FifoPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "FIFO"; }
+  [[nodiscard]] std::size_t Select(std::span<const PausedContainer> paused,
+                                   Bytes free_bytes) override;
+};
+
+/// Best-Fit: the container whose insufficient memory is closest to — but
+/// not exceeding — the free memory; otherwise the least-insufficient one.
+class BestFitPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "BF"; }
+  [[nodiscard]] std::size_t Select(std::span<const PausedContainer> paused,
+                                   Bytes free_bytes) override;
+};
+
+/// Recent-Use: the most recently suspended container.
+class RecentUsePolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "RU"; }
+  [[nodiscard]] std::size_t Select(std::span<const PausedContainer> paused,
+                                   Bytes free_bytes) override;
+};
+
+/// Random: uniform over the paused containers (seedable for reproducible
+/// experiments).
+class RandomPolicy final : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0x5EEDULL) : rng_(seed) {}
+  [[nodiscard]] std::string_view name() const override { return "Rand"; }
+  [[nodiscard]] std::size_t Select(std::span<const PausedContainer> paused,
+                                   Bytes free_bytes) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Factory by paper name: "FIFO", "BF", "RU", "Rand" (case-sensitive).
+/// Returns nullptr for unknown names.
+std::unique_ptr<SchedulingPolicy> MakePolicy(std::string_view name,
+                                             std::uint64_t seed = 0x5EEDULL);
+
+}  // namespace convgpu

@@ -1,0 +1,299 @@
+#include "convgpu/protocol.h"
+
+namespace convgpu::protocol {
+
+namespace {
+
+using json::Json;
+
+Json Obj(std::string_view type) {
+  Json j;
+  j["type"] = Json(type);
+  return j;
+}
+
+Status Missing(std::string_view type, std::string_view field) {
+  return InvalidArgumentError(std::string(type) + ": missing field '" +
+                              std::string(field) + "'");
+}
+
+Result<std::string> ReqString(const Json& j, std::string_view type,
+                              std::string_view field) {
+  auto value = j.GetString(field);
+  if (!value) return Missing(type, field);
+  return *value;
+}
+
+Result<std::int64_t> ReqInt(const Json& j, std::string_view type,
+                            std::string_view field) {
+  auto value = j.GetInt(field);
+  if (!value) return Missing(type, field);
+  return *value;
+}
+
+}  // namespace
+
+json::Json Encode(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> Json {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RegisterContainer>) {
+          Json j = Obj("register_container");
+          j["container_id"] = m.container_id;
+          if (m.memory_limit) j["memory_limit"] = *m.memory_limit;
+          return j;
+        } else if constexpr (std::is_same_v<T, RegisterReply>) {
+          Json j = Obj("register_reply");
+          j["ok"] = m.ok;
+          if (!m.error.empty()) j["error"] = m.error;
+          j["socket_dir"] = m.socket_dir;
+          j["socket_path"] = m.socket_path;
+          return j;
+        } else if constexpr (std::is_same_v<T, AllocRequest>) {
+          Json j = Obj("alloc_request");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          j["size"] = m.size;
+          j["api"] = m.api;
+          return j;
+        } else if constexpr (std::is_same_v<T, AllocReply>) {
+          Json j = Obj("alloc_reply");
+          j["granted"] = m.granted;
+          if (!m.error.empty()) j["error"] = m.error;
+          return j;
+        } else if constexpr (std::is_same_v<T, AllocCommit>) {
+          Json j = Obj("alloc_commit");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          j["address"] = static_cast<std::int64_t>(m.address);
+          j["size"] = m.size;
+          return j;
+        } else if constexpr (std::is_same_v<T, AllocAbort>) {
+          Json j = Obj("alloc_abort");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          j["size"] = m.size;
+          return j;
+        } else if constexpr (std::is_same_v<T, FreeNotify>) {
+          Json j = Obj("free");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          j["address"] = static_cast<std::int64_t>(m.address);
+          return j;
+        } else if constexpr (std::is_same_v<T, MemGetInfoRequest>) {
+          Json j = Obj("mem_get_info");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          return j;
+        } else if constexpr (std::is_same_v<T, MemInfoReply>) {
+          Json j = Obj("mem_info_reply");
+          j["free"] = m.free;
+          j["total"] = m.total;
+          return j;
+        } else if constexpr (std::is_same_v<T, ProcessExit>) {
+          Json j = Obj("process_exit");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          return j;
+        } else if constexpr (std::is_same_v<T, ContainerClose>) {
+          Json j = Obj("container_close");
+          j["container_id"] = m.container_id;
+          return j;
+        } else if constexpr (std::is_same_v<T, Ping>) {
+          return Obj("ping");
+        } else if constexpr (std::is_same_v<T, Pong>) {
+          return Obj("pong");
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          return Obj("stats");
+        } else {
+          static_assert(std::is_same_v<T, StatsReply>);
+          Json j = Obj("stats_reply");
+          j["capacity"] = m.capacity;
+          j["free_pool"] = m.free_pool;
+          j["policy"] = m.policy;
+          json::Array containers;
+          for (const auto& c : m.containers) {
+            Json entry;
+            entry["container_id"] = c.container_id;
+            entry["limit"] = c.limit;
+            entry["assigned"] = c.assigned;
+            entry["used"] = c.used;
+            entry["suspended"] = c.suspended;
+            entry["total_suspended_sec"] = c.total_suspended_sec;
+            entry["suspend_episodes"] =
+                static_cast<std::int64_t>(c.suspend_episodes);
+            containers.push_back(std::move(entry));
+          }
+          j["containers"] = std::move(containers);
+          return j;
+        }
+      },
+      message);
+}
+
+std::string_view TypeName(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> std::string_view {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RegisterContainer>) return "register_container";
+        else if constexpr (std::is_same_v<T, RegisterReply>) return "register_reply";
+        else if constexpr (std::is_same_v<T, AllocRequest>) return "alloc_request";
+        else if constexpr (std::is_same_v<T, AllocReply>) return "alloc_reply";
+        else if constexpr (std::is_same_v<T, AllocCommit>) return "alloc_commit";
+        else if constexpr (std::is_same_v<T, AllocAbort>) return "alloc_abort";
+        else if constexpr (std::is_same_v<T, FreeNotify>) return "free";
+        else if constexpr (std::is_same_v<T, MemGetInfoRequest>) return "mem_get_info";
+        else if constexpr (std::is_same_v<T, MemInfoReply>) return "mem_info_reply";
+        else if constexpr (std::is_same_v<T, ProcessExit>) return "process_exit";
+        else if constexpr (std::is_same_v<T, ContainerClose>) return "container_close";
+        else if constexpr (std::is_same_v<T, Ping>) return "ping";
+        else if constexpr (std::is_same_v<T, Pong>) return "pong";
+        else if constexpr (std::is_same_v<T, StatsRequest>) return "stats";
+        else return "stats_reply";
+      },
+      message);
+}
+
+Result<Message> Decode(const json::Json& j) {
+  auto type = j.GetString("type");
+  if (!type) return InvalidArgumentError("message missing 'type'");
+
+  if (*type == "register_container") {
+    RegisterContainer m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    m.container_id = *id;
+    if (auto limit = j.GetInt("memory_limit")) m.memory_limit = *limit;
+    return Message(m);
+  }
+  if (*type == "register_reply") {
+    RegisterReply m;
+    m.ok = j.GetBool("ok").value_or(false);
+    m.error = j.GetString("error").value_or("");
+    m.socket_dir = j.GetString("socket_dir").value_or("");
+    m.socket_path = j.GetString("socket_path").value_or("");
+    return Message(m);
+  }
+  if (*type == "alloc_request") {
+    AllocRequest m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    auto size = ReqInt(j, *type, "size");
+    if (!size.ok()) return size.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    m.size = *size;
+    m.api = j.GetString("api").value_or("");
+    return Message(m);
+  }
+  if (*type == "alloc_reply") {
+    AllocReply m;
+    m.granted = j.GetBool("granted").value_or(false);
+    m.error = j.GetString("error").value_or("");
+    return Message(m);
+  }
+  if (*type == "alloc_commit") {
+    AllocCommit m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    auto address = ReqInt(j, *type, "address");
+    if (!address.ok()) return address.status();
+    auto size = ReqInt(j, *type, "size");
+    if (!size.ok()) return size.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    m.address = static_cast<std::uint64_t>(*address);
+    m.size = *size;
+    return Message(m);
+  }
+  if (*type == "alloc_abort") {
+    AllocAbort m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    auto size = ReqInt(j, *type, "size");
+    if (!size.ok()) return size.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    m.size = *size;
+    return Message(m);
+  }
+  if (*type == "free") {
+    FreeNotify m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    auto address = ReqInt(j, *type, "address");
+    if (!address.ok()) return address.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    m.address = static_cast<std::uint64_t>(*address);
+    return Message(m);
+  }
+  if (*type == "mem_get_info") {
+    MemGetInfoRequest m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    m.container_id = *id;
+    m.pid = j.GetInt("pid").value_or(0);
+    return Message(m);
+  }
+  if (*type == "mem_info_reply") {
+    MemInfoReply m;
+    m.free = j.GetInt("free").value_or(0);
+    m.total = j.GetInt("total").value_or(0);
+    return Message(m);
+  }
+  if (*type == "process_exit") {
+    ProcessExit m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    return Message(m);
+  }
+  if (*type == "container_close") {
+    ContainerClose m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    m.container_id = *id;
+    return Message(m);
+  }
+  if (*type == "ping") return Message(Ping{});
+  if (*type == "pong") return Message(Pong{});
+  if (*type == "stats") return Message(StatsRequest{});
+  if (*type == "stats_reply") {
+    StatsReply m;
+    m.capacity = j.GetInt("capacity").value_or(0);
+    m.free_pool = j.GetInt("free_pool").value_or(0);
+    m.policy = j.GetString("policy").value_or("");
+    if (const Json* containers = j.Find("containers");
+        containers != nullptr && containers->is_array()) {
+      for (const Json& entry : containers->as_array()) {
+        ContainerStatsWire c;
+        c.container_id = entry.GetString("container_id").value_or("");
+        c.limit = entry.GetInt("limit").value_or(0);
+        c.assigned = entry.GetInt("assigned").value_or(0);
+        c.used = entry.GetInt("used").value_or(0);
+        c.suspended = entry.GetBool("suspended").value_or(false);
+        c.total_suspended_sec =
+            entry.GetDouble("total_suspended_sec").value_or(0.0);
+        c.suspend_episodes = static_cast<std::uint64_t>(
+            entry.GetInt("suspend_episodes").value_or(0));
+        m.containers.push_back(std::move(c));
+      }
+    }
+    return Message(m);
+  }
+  return InvalidArgumentError("unknown message type: " + *type);
+}
+
+}  // namespace convgpu::protocol

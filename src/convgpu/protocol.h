@@ -1,0 +1,129 @@
+// ConVGPU wire protocol: JSON messages over UNIX domain sockets (paper
+// §III: "connected and communicating using UNIX Domain Socket with JSON
+// format").
+//
+// Flows:
+//   nvidia-docker  → scheduler : register_container   (request/reply)
+//   wrapper module → scheduler : alloc_request        (request/reply —
+//                                the reply may be suspended indefinitely)
+//                                alloc_commit, alloc_abort, free,
+//                                process_exit         (one-way)
+//                                mem_get_info         (request/reply)
+//   plugin         → scheduler : container_close      (one-way)
+//   tooling        → scheduler : ping, stats          (request/reply)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "json/json.h"
+
+namespace convgpu::protocol {
+
+struct RegisterContainer {
+  std::string container_id;
+  std::optional<Bytes> memory_limit;  // absent => scheduler default (1 GiB)
+};
+
+struct RegisterReply {
+  bool ok = false;
+  std::string error;
+  std::string socket_dir;   // per-container directory (volume source)
+  std::string socket_path;  // UNIX socket inside that directory
+};
+
+struct AllocRequest {
+  std::string container_id;
+  Pid pid = 0;
+  Bytes size = 0;       // wrapper-adjusted size (pitch / managed rounding)
+  std::string api;      // originating CUDA API name, for logging/stats
+};
+
+struct AllocReply {
+  bool granted = false;
+  std::string error;
+};
+
+struct AllocCommit {
+  std::string container_id;
+  Pid pid = 0;
+  std::uint64_t address = 0;
+  Bytes size = 0;
+};
+
+struct AllocAbort {
+  std::string container_id;
+  Pid pid = 0;
+  Bytes size = 0;
+};
+
+struct FreeNotify {
+  std::string container_id;
+  Pid pid = 0;
+  std::uint64_t address = 0;
+};
+
+struct MemGetInfoRequest {
+  std::string container_id;
+  Pid pid = 0;
+};
+
+struct MemInfoReply {
+  Bytes free = 0;
+  Bytes total = 0;
+};
+
+struct ProcessExit {
+  std::string container_id;
+  Pid pid = 0;
+};
+
+struct ContainerClose {
+  std::string container_id;
+};
+
+struct Ping {};
+struct Pong {};
+
+struct StatsRequest {};
+
+struct ContainerStatsWire {
+  std::string container_id;
+  Bytes limit = 0;
+  Bytes assigned = 0;
+  Bytes used = 0;
+  bool suspended = false;
+  double total_suspended_sec = 0.0;
+  std::uint64_t suspend_episodes = 0;
+};
+
+struct StatsReply {
+  Bytes capacity = 0;
+  Bytes free_pool = 0;
+  std::string policy;
+  std::vector<ContainerStatsWire> containers;
+};
+
+using Message =
+    std::variant<RegisterContainer, RegisterReply, AllocRequest, AllocReply,
+                 AllocCommit, AllocAbort, FreeNotify, MemGetInfoRequest,
+                 MemInfoReply, ProcessExit, ContainerClose, Ping, Pong,
+                 StatsRequest, StatsReply>;
+
+/// Serializes any message (adds the "type" discriminator).
+json::Json Encode(const Message& message);
+
+/// Parses a message by its "type" field. kInvalidArgument for unknown types
+/// or missing required fields.
+Result<Message> Decode(const json::Json& value);
+
+/// The "type" string a given alternative encodes to (for tests/logging).
+std::string_view TypeName(const Message& message);
+
+}  // namespace convgpu::protocol

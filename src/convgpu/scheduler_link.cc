@@ -1,0 +1,81 @@
+#include "convgpu/scheduler_link.h"
+
+#include <future>
+
+namespace convgpu {
+
+Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
+    const std::string& socket_path) {
+  auto client = ipc::MessageClient::ConnectUnix(socket_path);
+  if (!client.ok()) return client.status();
+  return std::unique_ptr<SocketSchedulerLink>(
+      new SocketSchedulerLink(std::move(*client)));
+}
+
+Result<protocol::Message> SocketSchedulerLink::Call(
+    const protocol::Message& request) {
+  std::lock_guard lock(call_mutex_);
+  CONVGPU_RETURN_IF_ERROR(client_->Send(protocol::Encode(request)));
+  auto reply = client_->Recv();
+  if (!reply.ok()) return reply.status();
+  return protocol::Decode(*reply);
+}
+
+Status SocketSchedulerLink::Notify(const protocol::Message& message) {
+  return client_->Send(protocol::Encode(message));
+}
+
+Result<protocol::Message> DirectSchedulerLink::Call(
+    const protocol::Message& request) {
+  if (const auto* alloc = std::get_if<protocol::AllocRequest>(&request)) {
+    // Block until the scheduler decides — possibly after a suspension.
+    std::promise<Status> decided;
+    auto future = decided.get_future();
+    core_->RequestAlloc(container_id_, alloc->pid, alloc->size,
+                        [&decided](const Status& status) {
+                          decided.set_value(status);
+                        });
+    const Status status = future.get();
+    protocol::AllocReply reply;
+    reply.granted = status.ok();
+    if (!status.ok()) reply.error = status.ToString();
+    return protocol::Message(reply);
+  }
+  if (std::holds_alternative<protocol::MemGetInfoRequest>(request)) {
+    protocol::MemInfoReply reply;
+    auto info = core_->MemGetInfo(container_id_);
+    if (info.ok()) {
+      reply.free = info->free;
+      reply.total = info->total;
+    }
+    return protocol::Message(reply);
+  }
+  if (std::holds_alternative<protocol::Ping>(request)) {
+    return protocol::Message(protocol::Pong{});
+  }
+  return InvalidArgumentError("unsupported direct call: " +
+                              std::string(protocol::TypeName(request)));
+}
+
+Status DirectSchedulerLink::Notify(const protocol::Message& message) {
+  if (const auto* commit = std::get_if<protocol::AllocCommit>(&message)) {
+    return core_->CommitAlloc(container_id_, commit->pid, commit->address,
+                              commit->size);
+  }
+  if (const auto* abort = std::get_if<protocol::AllocAbort>(&message)) {
+    return core_->AbortAlloc(container_id_, abort->pid, abort->size);
+  }
+  if (const auto* free = std::get_if<protocol::FreeNotify>(&message)) {
+    return core_->FreeAlloc(container_id_, free->pid, free->address);
+  }
+  if (const auto* exit = std::get_if<protocol::ProcessExit>(&message)) {
+    return core_->ProcessExit(container_id_, exit->pid);
+  }
+  if (const auto* close = std::get_if<protocol::ContainerClose>(&message)) {
+    return core_->ContainerClose(close->container_id);
+  }
+  return InvalidArgumentError("unsupported direct notify: " +
+                              std::string(protocol::TypeName(message)));
+}
+
+}  // namespace convgpu

@@ -1,0 +1,71 @@
+// SchedulerLink: the wrapper module's channel to the GPU memory scheduler.
+//
+// Two implementations:
+//  * SocketSchedulerLink — JSON frames over the container's UNIX socket
+//    (production path, what the paper measures in Fig. 4);
+//  * DirectSchedulerLink — calls a SchedulerCore in-process (unit tests and
+//    the zero-IPC rung of the transport ablation).
+//
+// Call() is strictly serialized per link: the protocol has no request ids
+// (faithful to the paper), so a second in-flight request while the first is
+// *suspended* would steal its reply. Serializing gives the same observable
+// semantics as the scheduler's per-container FIFO queue.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "convgpu/protocol.h"
+#include "convgpu/scheduler_core.h"
+#include "ipc/message_server.h"
+
+namespace convgpu {
+
+class SchedulerLink {
+ public:
+  virtual ~SchedulerLink() = default;
+
+  /// Request/reply. Blocks until the scheduler answers — for a suspended
+  /// allocation that can be a long time, which is exactly the paper's
+  /// suspension mechanism.
+  virtual Result<protocol::Message> Call(const protocol::Message& request) = 0;
+
+  /// One-way notification (alloc_commit, free, process_exit, ...).
+  virtual Status Notify(const protocol::Message& message) = 0;
+};
+
+class SocketSchedulerLink final : public SchedulerLink {
+ public:
+  static Result<std::unique_ptr<SocketSchedulerLink>> Connect(
+      const std::string& socket_path);
+
+  Result<protocol::Message> Call(const protocol::Message& request) override;
+  Status Notify(const protocol::Message& message) override;
+
+ private:
+  explicit SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client)
+      : client_(std::move(client)) {}
+
+  std::mutex call_mutex_;
+  std::unique_ptr<ipc::MessageClient> client_;
+};
+
+class DirectSchedulerLink final : public SchedulerLink {
+ public:
+  /// `core` must outlive the link. `container_id` scopes every message —
+  /// the in-process analogue of the per-container socket.
+  DirectSchedulerLink(SchedulerCore* core, std::string container_id)
+      : core_(core), container_id_(std::move(container_id)) {}
+
+  Result<protocol::Message> Call(const protocol::Message& request) override;
+  Status Notify(const protocol::Message& message) override;
+
+ private:
+  SchedulerCore* core_;
+  std::string container_id_;
+};
+
+}  // namespace convgpu

@@ -1,0 +1,290 @@
+#include "convgpu/scheduler_server.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace convgpu {
+
+namespace {
+constexpr char kTag[] = "sched-srv";
+namespace fs = std::filesystem;
+}  // namespace
+
+SchedulerServer::SchedulerServer(SchedulerServerOptions options,
+                                 const Clock* clock)
+    : options_(std::move(options)), core_(options_.scheduler, clock) {}
+
+SchedulerServer::~SchedulerServer() { Stop(); }
+
+std::string SchedulerServer::main_socket_path() const {
+  return options_.base_dir + "/scheduler.sock";
+}
+
+std::string SchedulerServer::container_socket_path(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  auto it = channels_.find(id);
+  return it == channels_.end() ? std::string() : it->second->socket_path;
+}
+
+Status SchedulerServer::Start() {
+  std::error_code ec;
+  fs::create_directories(options_.base_dir + "/containers", ec);
+  if (ec) {
+    return InternalError("cannot create base dir " + options_.base_dir + ": " +
+                         ec.message());
+  }
+  auto status = main_server_.Start(
+      main_socket_path(),
+      [this](ipc::ConnectionId conn, json::Json message) {
+        HandleMain(conn, std::move(message));
+      });
+  if (!status.ok()) return status;
+  {
+    std::lock_guard lock(mutex_);
+    started_ = true;
+  }
+  CONVGPU_LOG(kInfo, kTag) << "scheduler listening on " << main_socket_path()
+                           << " (policy " << core_.policy_name() << ", capacity "
+                           << FormatByteSize(core_.capacity()) << ")";
+  return Status::Ok();
+}
+
+void SchedulerServer::Stop() {
+  std::map<std::string, std::shared_ptr<ContainerChannel>> channels;
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_) return;
+    started_ = false;
+    channels.swap(channels_);
+  }
+  for (auto& [id, channel] : channels) channel->server->Stop();
+  main_server_.Stop();
+}
+
+protocol::RegisterReply SchedulerServer::DoRegister(
+    const protocol::RegisterContainer& request) {
+  protocol::RegisterReply reply;
+  auto status = core_.RegisterContainer(request.container_id,
+                                        request.memory_limit);
+  if (!status.ok()) {
+    reply.error = status.ToString();
+    return reply;
+  }
+
+  // Per-container directory with its own UNIX socket — what nvidia-docker
+  // bind-mounts into the container (§III-D).
+  const std::string dir =
+      options_.base_dir + "/containers/" + request.container_id;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    (void)core_.ContainerClose(request.container_id);
+    reply.error = "cannot create container dir: " + ec.message();
+    return reply;
+  }
+
+  if (!options_.wrapper_module_path.empty()) {
+    fs::copy_file(options_.wrapper_module_path, dir + "/libgpushare.so",
+                  fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      CONVGPU_LOG(kWarn, kTag) << "cannot copy wrapper module: " << ec.message();
+    }
+  }
+
+  auto channel = std::make_shared<ContainerChannel>();
+  channel->dir = dir;
+  channel->socket_path = dir + "/convgpu.sock";
+  channel->server = std::make_unique<ipc::MessageServer>();
+  const std::string container_id = request.container_id;
+  auto start_status = channel->server->Start(
+      channel->socket_path,
+      [this, container_id](ipc::ConnectionId conn, json::Json message) {
+        HandleContainer(container_id, conn, std::move(message));
+      },
+      [this, container_id](ipc::ConnectionId conn) {
+        HandleContainerDisconnect(container_id, conn);
+      });
+  if (!start_status.ok()) {
+    (void)core_.ContainerClose(request.container_id);
+    reply.error = start_status.ToString();
+    return reply;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    channels_[request.container_id] = channel;
+  }
+  reply.ok = true;
+  reply.socket_dir = dir;
+  reply.socket_path = channel->socket_path;
+  return reply;
+}
+
+protocol::StatsReply SchedulerServer::BuildStats() const {
+  protocol::StatsReply reply;
+  reply.capacity = core_.capacity();
+  reply.free_pool = core_.free_pool();
+  reply.policy = std::string(core_.policy_name());
+  for (const auto& snapshot : core_.Stats()) {
+    protocol::ContainerStatsWire wire;
+    wire.container_id = snapshot.id;
+    wire.limit = snapshot.limit;
+    wire.assigned = snapshot.assigned;
+    wire.used = snapshot.used;
+    wire.suspended = snapshot.suspended;
+    wire.total_suspended_sec = ToSeconds(snapshot.total_suspended);
+    wire.suspend_episodes = snapshot.suspend_episodes;
+    reply.containers.push_back(std::move(wire));
+  }
+  return reply;
+}
+
+void SchedulerServer::HandleMain(ipc::ConnectionId conn, json::Json message) {
+  auto decoded = protocol::Decode(message);
+  if (!decoded.ok()) {
+    CONVGPU_LOG(kWarn, kTag) << "bad main-socket message: "
+                             << decoded.status().ToString();
+    return;
+  }
+  if (auto* request = std::get_if<protocol::RegisterContainer>(&*decoded)) {
+    auto reply = DoRegister(*request);
+    (void)main_server_.Send(conn, protocol::Encode(protocol::Message(reply)));
+    return;
+  }
+  if (auto* close = std::get_if<protocol::ContainerClose>(&*decoded)) {
+    const std::string id = close->container_id;
+    (void)core_.ContainerClose(id);
+    std::shared_ptr<ContainerChannel> channel;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = channels_.find(id);
+      if (it != channels_.end()) {
+        channel = it->second;
+        channels_.erase(it);
+      }
+    }
+    if (channel) channel->server->Stop();
+    return;
+  }
+  if (std::holds_alternative<protocol::Ping>(*decoded)) {
+    (void)main_server_.Send(conn, protocol::Encode(protocol::Message(protocol::Pong{})));
+    return;
+  }
+  if (std::holds_alternative<protocol::StatsRequest>(*decoded)) {
+    (void)main_server_.Send(conn,
+                            protocol::Encode(protocol::Message(BuildStats())));
+    return;
+  }
+  CONVGPU_LOG(kWarn, kTag) << "unexpected message on main socket: "
+                           << protocol::TypeName(*decoded);
+}
+
+void SchedulerServer::HandleContainer(const std::string& container_id,
+                                      ipc::ConnectionId conn,
+                                      json::Json message) {
+  auto decoded = protocol::Decode(message);
+  if (!decoded.ok()) {
+    CONVGPU_LOG(kWarn, kTag) << "bad container message: "
+                             << decoded.status().ToString();
+    return;
+  }
+
+  std::shared_ptr<ContainerChannel> channel;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = channels_.find(container_id);
+    if (it == channels_.end()) return;  // closed concurrently
+    channel = it->second;
+  }
+
+  // Record the speaking pid for crash cleanup.
+  auto note_pid = [&](Pid pid) {
+    std::lock_guard lock(channel->pids_mutex);
+    channel->pids_by_conn[conn].insert(pid);
+  };
+
+  if (auto* request = std::get_if<protocol::AllocRequest>(&*decoded)) {
+    note_pid(request->pid);
+    // The reply may be deferred (suspension) — capture what's needed to
+    // answer whenever the scheduler decides.
+    ipc::MessageServer* server = channel->server.get();
+    core_.RequestAlloc(
+        container_id, request->pid, request->size,
+        [server, conn](const Status& status) {
+          protocol::AllocReply reply;
+          reply.granted = status.ok();
+          if (!status.ok()) reply.error = status.ToString();
+          (void)server->Send(conn, protocol::Encode(protocol::Message(reply)));
+        });
+    return;
+  }
+  if (auto* commit = std::get_if<protocol::AllocCommit>(&*decoded)) {
+    note_pid(commit->pid);
+    (void)core_.CommitAlloc(container_id, commit->pid, commit->address,
+                            commit->size);
+    return;
+  }
+  if (auto* abort = std::get_if<protocol::AllocAbort>(&*decoded)) {
+    (void)core_.AbortAlloc(container_id, abort->pid, abort->size);
+    return;
+  }
+  if (auto* free = std::get_if<protocol::FreeNotify>(&*decoded)) {
+    (void)core_.FreeAlloc(container_id, free->pid, free->address);
+    return;
+  }
+  if (std::get_if<protocol::MemGetInfoRequest>(&*decoded) != nullptr) {
+    protocol::MemInfoReply reply;
+    auto result = core_.MemGetInfo(container_id);
+    if (result.ok()) {
+      reply.free = result->free;
+      reply.total = result->total;
+    }
+    (void)channel->server->Send(conn,
+                                protocol::Encode(protocol::Message(reply)));
+    return;
+  }
+  if (auto* exit = std::get_if<protocol::ProcessExit>(&*decoded)) {
+    (void)core_.ProcessExit(container_id, exit->pid);
+    std::lock_guard lock(channel->pids_mutex);
+    for (auto& [cid, pids] : channel->pids_by_conn) pids.erase(exit->pid);
+    return;
+  }
+  if (std::holds_alternative<protocol::Ping>(*decoded)) {
+    (void)channel->server->Send(
+        conn, protocol::Encode(protocol::Message(protocol::Pong{})));
+    return;
+  }
+  CONVGPU_LOG(kWarn, kTag) << "unexpected message on container socket: "
+                           << protocol::TypeName(*decoded);
+}
+
+void SchedulerServer::HandleContainerDisconnect(const std::string& container_id,
+                                                ipc::ConnectionId conn) {
+  std::shared_ptr<ContainerChannel> channel;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = channels_.find(container_id);
+    if (it == channels_.end()) return;
+    channel = it->second;
+  }
+  std::set<Pid> orphans;
+  {
+    std::lock_guard lock(channel->pids_mutex);
+    auto it = channel->pids_by_conn.find(conn);
+    if (it != channel->pids_by_conn.end()) {
+      orphans = std::move(it->second);
+      channel->pids_by_conn.erase(it);
+    }
+  }
+  // A process that vanished without process_exit (crash, SIGKILL) still
+  // gets its GPU memory reclaimed — robustness beyond the paper.
+  for (Pid pid : orphans) {
+    CONVGPU_LOG(kInfo, kTag) << "reclaiming memory of vanished pid " << pid
+                             << " in " << container_id;
+    (void)core_.ProcessExit(container_id, pid);
+  }
+}
+
+}  // namespace convgpu

@@ -1,0 +1,83 @@
+// SchedulerServer: the GPU memory scheduler as a socket daemon.
+//
+// Mirrors the paper's deployment (§III-D): a standalone host-side program
+// (Go there, C++ here). It listens on a main socket for registration (from
+// the customized nvidia-docker), close signals (from the plugin), and
+// tooling queries; for every registered container it creates a dedicated
+// directory containing that container's own UNIX socket (and a copy of the
+// wrapper module when configured) — the directory nvidia-docker bind-mounts
+// into the container.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "convgpu/protocol.h"
+#include "convgpu/scheduler_core.h"
+#include "ipc/message_server.h"
+
+namespace convgpu {
+
+struct SchedulerServerOptions {
+  /// Root of all scheduler state: main socket + per-container directories.
+  std::string base_dir;
+  SchedulerOptions scheduler;
+  /// When non-empty, this file (libgpushare_preload.so) is copied into each
+  /// container directory, as the paper's scheduler does with libgpushare.so.
+  std::string wrapper_module_path;
+};
+
+class SchedulerServer {
+ public:
+  explicit SchedulerServer(SchedulerServerOptions options,
+                           const Clock* clock = nullptr);
+  ~SchedulerServer();
+
+  SchedulerServer(const SchedulerServer&) = delete;
+  SchedulerServer& operator=(const SchedulerServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The registration/control socket (what nvidia-docker and the plugin
+  /// connect to).
+  [[nodiscard]] std::string main_socket_path() const;
+  /// Per-container socket path, empty if the container is unknown.
+  [[nodiscard]] std::string container_socket_path(const std::string& id) const;
+
+  [[nodiscard]] SchedulerCore& core() { return core_; }
+  [[nodiscard]] const SchedulerCore& core() const { return core_; }
+
+ private:
+  struct ContainerChannel {
+    std::unique_ptr<ipc::MessageServer> server;
+    std::string socket_path;
+    std::string dir;
+    // pids that spoke on each connection — lets a crashed process (socket
+    // dropped without process_exit) still be cleaned up.
+    std::map<ipc::ConnectionId, std::set<Pid>> pids_by_conn;
+    std::mutex pids_mutex;
+  };
+
+  void HandleMain(ipc::ConnectionId conn, json::Json message);
+  void HandleContainer(const std::string& container_id,
+                       ipc::ConnectionId conn, json::Json message);
+  void HandleContainerDisconnect(const std::string& container_id,
+                                 ipc::ConnectionId conn);
+  protocol::RegisterReply DoRegister(const protocol::RegisterContainer& request);
+  protocol::StatsReply BuildStats() const;
+
+  SchedulerServerOptions options_;
+  SchedulerCore core_;
+  ipc::MessageServer main_server_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ContainerChannel>> channels_;
+  bool started_ = false;
+};
+
+}  // namespace convgpu

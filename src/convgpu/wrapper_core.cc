@@ -1,0 +1,258 @@
+#include "convgpu/wrapper_core.h"
+
+#include "common/log.h"
+
+namespace convgpu {
+
+using cudasim::CudaError;
+
+namespace {
+constexpr char kTag[] = "wrapper";
+}
+
+WrapperCore::WrapperCore(cudasim::CudaApi* inner, SchedulerLink* link, Pid pid)
+    : inner_(inner), link_(link), pid_(pid) {}
+
+CudaError WrapperCore::EnsureGeometry() {
+  {
+    std::lock_guard lock(mutex_);
+    if (geometry_loaded_) return CudaError::kSuccess;
+  }
+  cudasim::DeviceProp prop;
+  const CudaError error = inner_->GetDeviceProperties(&prop, 0);
+  if (error != CudaError::kSuccess) return error;
+  std::lock_guard lock(mutex_);
+  pitch_alignment_ = static_cast<Bytes>(prop.pitch_alignment);
+  managed_granularity_ = prop.managed_granularity;
+  geometry_loaded_ = true;
+  return CudaError::kSuccess;
+}
+
+template <typename AllocateFn>
+CudaError WrapperCore::GuardedAlloc(Bytes adjusted, const char* api,
+                                    AllocateFn allocate) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.alloc_requests;
+    ++stats_.scheduler_round_trips;
+  }
+
+  protocol::AllocRequest request;
+  request.pid = pid_;
+  request.size = adjusted;
+  request.api = api;
+  auto reply = link_->Call(protocol::Message(request));
+  if (!reply.ok()) {
+    CONVGPU_LOG(kError, kTag) << api << ": scheduler unreachable: "
+                              << reply.status().ToString();
+    std::lock_guard lock(mutex_);
+    wrapper_error_ = CudaError::kSchedulerUnavailable;
+    return CudaError::kSchedulerUnavailable;
+  }
+  const auto* alloc_reply = std::get_if<protocol::AllocReply>(&*reply);
+  if (alloc_reply == nullptr) {
+    std::lock_guard lock(mutex_);
+    wrapper_error_ = CudaError::kSchedulerUnavailable;
+    return CudaError::kSchedulerUnavailable;
+  }
+  if (!alloc_reply->granted) {
+    // Over the container's limit: the user program sees the same error a
+    // full GPU would produce.
+    std::lock_guard lock(mutex_);
+    ++stats_.alloc_rejected;
+    wrapper_error_ = CudaError::kMemoryAllocation;
+    return CudaError::kMemoryAllocation;
+  }
+
+  cudasim::DevicePtr address = cudasim::kNullDevicePtr;
+  const CudaError error = allocate(&address);
+  if (error != CudaError::kSuccess) {
+    // The real allocation failed after admission (e.g. fragmentation):
+    // release the reservation so the accounting stays exact.
+    protocol::AllocAbort abort;
+    abort.pid = pid_;
+    abort.size = adjusted;
+    (void)link_->Notify(protocol::Message(abort));
+    return error;
+  }
+
+  protocol::AllocCommit commit;
+  commit.pid = pid_;
+  commit.address = address;
+  commit.size = adjusted;
+  (void)link_->Notify(protocol::Message(commit));
+  std::lock_guard lock(mutex_);
+  ++stats_.alloc_granted;
+  return CudaError::kSuccess;
+}
+
+CudaError WrapperCore::Malloc(cudasim::DevicePtr* dev_ptr, std::size_t size) {
+  if (dev_ptr == nullptr) return CudaError::kInvalidValue;
+  return GuardedAlloc(static_cast<Bytes>(size), "cudaMalloc",
+                      [&](cudasim::DevicePtr* address) {
+                        const CudaError e = inner_->Malloc(address, size);
+                        if (e == CudaError::kSuccess) *dev_ptr = *address;
+                        return e;
+                      });
+}
+
+CudaError WrapperCore::MallocPitch(cudasim::DevicePtr* dev_ptr,
+                                   std::size_t* pitch, std::size_t width,
+                                   std::size_t height) {
+  if (dev_ptr == nullptr || pitch == nullptr) return CudaError::kInvalidValue;
+  const CudaError geometry = EnsureGeometry();
+  if (geometry != CudaError::kSuccess) return geometry;
+  Bytes alignment = 0;
+  {
+    std::lock_guard lock(mutex_);
+    alignment = pitch_alignment_;
+  }
+  const Bytes adjusted =
+      AlignUp(static_cast<Bytes>(width), alignment) * static_cast<Bytes>(height);
+  return GuardedAlloc(adjusted, "cudaMallocPitch",
+                      [&](cudasim::DevicePtr* address) {
+                        const CudaError e =
+                            inner_->MallocPitch(address, pitch, width, height);
+                        if (e == CudaError::kSuccess) *dev_ptr = *address;
+                        return e;
+                      });
+}
+
+CudaError WrapperCore::Malloc3D(cudasim::PitchedPtr* pitched,
+                                const cudasim::Extent& extent) {
+  if (pitched == nullptr) return CudaError::kInvalidValue;
+  const CudaError geometry = EnsureGeometry();
+  if (geometry != CudaError::kSuccess) return geometry;
+  Bytes alignment = 0;
+  {
+    std::lock_guard lock(mutex_);
+    alignment = pitch_alignment_;
+  }
+  const Bytes adjusted = AlignUp(static_cast<Bytes>(extent.width), alignment) *
+                         static_cast<Bytes>(extent.height) *
+                         static_cast<Bytes>(extent.depth);
+  return GuardedAlloc(adjusted, "cudaMalloc3D",
+                      [&](cudasim::DevicePtr* address) {
+                        const CudaError e = inner_->Malloc3D(pitched, extent);
+                        if (e == CudaError::kSuccess) *address = pitched->ptr;
+                        return e;
+                      });
+}
+
+CudaError WrapperCore::MallocManaged(cudasim::DevicePtr* dev_ptr,
+                                     std::size_t size) {
+  if (dev_ptr == nullptr) return CudaError::kInvalidValue;
+  const CudaError geometry = EnsureGeometry();
+  if (geometry != CudaError::kSuccess) return geometry;
+  Bytes granularity = 0;
+  {
+    std::lock_guard lock(mutex_);
+    granularity = managed_granularity_;
+  }
+  const Bytes adjusted = AlignUp(static_cast<Bytes>(size), granularity);
+  return GuardedAlloc(adjusted, "cudaMallocManaged",
+                      [&](cudasim::DevicePtr* address) {
+                        const CudaError e = inner_->MallocManaged(address, size);
+                        if (e == CudaError::kSuccess) *dev_ptr = *address;
+                        return e;
+                      });
+}
+
+CudaError WrapperCore::Free(cudasim::DevicePtr dev_ptr) {
+  const CudaError error = inner_->Free(dev_ptr);
+  if (error == CudaError::kSuccess && dev_ptr != cudasim::kNullDevicePtr) {
+    // Fire-and-forget: the user program does not wait on the scheduler for
+    // frees, which is why Fig. 4 shows cudaFree barely slower than native.
+    protocol::FreeNotify notify;
+    notify.pid = pid_;
+    notify.address = dev_ptr;
+    (void)link_->Notify(protocol::Message(notify));
+    std::lock_guard lock(mutex_);
+    ++stats_.frees;
+  }
+  return error;
+}
+
+CudaError WrapperCore::MemGetInfo(std::size_t* free_bytes,
+                                  std::size_t* total_bytes) {
+  if (free_bytes == nullptr || total_bytes == nullptr) {
+    return CudaError::kInvalidValue;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.mem_get_info;
+    ++stats_.scheduler_round_trips;
+  }
+  protocol::MemGetInfoRequest request;
+  request.pid = pid_;
+  auto reply = link_->Call(protocol::Message(request));
+  if (!reply.ok()) return CudaError::kSchedulerUnavailable;
+  const auto* info = std::get_if<protocol::MemInfoReply>(&*reply);
+  if (info == nullptr) return CudaError::kSchedulerUnavailable;
+  *free_bytes = static_cast<std::size_t>(info->free);
+  *total_bytes = static_cast<std::size_t>(info->total);
+  return CudaError::kSuccess;
+}
+
+CudaError WrapperCore::GetDeviceProperties(cudasim::DeviceProp* prop,
+                                           int device) {
+  return inner_->GetDeviceProperties(prop, device);
+}
+
+CudaError WrapperCore::MemcpyHostToDevice(cudasim::DevicePtr dst,
+                                          const void* src, std::size_t count) {
+  return inner_->MemcpyHostToDevice(dst, src, count);
+}
+
+CudaError WrapperCore::MemcpyDeviceToHost(void* dst, cudasim::DevicePtr src,
+                                          std::size_t count) {
+  return inner_->MemcpyDeviceToHost(dst, src, count);
+}
+
+CudaError WrapperCore::MemcpyDeviceToDevice(cudasim::DevicePtr dst,
+                                            cudasim::DevicePtr src,
+                                            std::size_t count) {
+  return inner_->MemcpyDeviceToDevice(dst, src, count);
+}
+
+CudaError WrapperCore::LaunchKernel(const cudasim::KernelLaunch& launch) {
+  return inner_->LaunchKernel(launch);
+}
+
+CudaError WrapperCore::DeviceSynchronize() { return inner_->DeviceSynchronize(); }
+
+CudaError WrapperCore::StreamCreate(cudasim::StreamId* stream) {
+  return inner_->StreamCreate(stream);
+}
+
+CudaError WrapperCore::StreamDestroy(cudasim::StreamId stream) {
+  return inner_->StreamDestroy(stream);
+}
+
+void WrapperCore::RegisterFatBinary() { inner_->RegisterFatBinary(); }
+
+void WrapperCore::UnregisterFatBinary() {
+  protocol::ProcessExit exit;
+  exit.pid = pid_;
+  (void)link_->Notify(protocol::Message(exit));
+  inner_->UnregisterFatBinary();
+}
+
+CudaError WrapperCore::GetLastError() {
+  {
+    std::lock_guard lock(mutex_);
+    if (wrapper_error_ != CudaError::kSuccess) {
+      const CudaError error = wrapper_error_;
+      wrapper_error_ = CudaError::kSuccess;
+      return error;
+    }
+  }
+  return inner_->GetLastError();
+}
+
+WrapperStats WrapperCore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace convgpu

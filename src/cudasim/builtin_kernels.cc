@@ -1,0 +1,100 @@
+#include "cudasim/builtin_kernels.h"
+
+#include <cstring>
+
+namespace convgpu::cudasim {
+
+namespace {
+
+Duration BandwidthPass(const DeviceProp& prop, Bytes bytes, int passes) {
+  if (prop.memory_bandwidth_per_sec <= 0 || bytes <= 0) return Duration::zero();
+  const double seconds = static_cast<double>(bytes) * passes /
+                         static_cast<double>(prop.memory_bandwidth_per_sec);
+  // Any real launch costs at least a cycle; keep durations strictly
+  // positive so tiny kernels still order correctly in the timing model.
+  return std::max(Seconds(seconds), Duration(1));
+}
+
+Dim3 GridFor(std::uint64_t elements, std::uint32_t block) {
+  Dim3 grid;
+  grid.x = static_cast<std::uint32_t>((elements + block - 1) / block);
+  if (grid.x == 0) grid.x = 1;
+  return grid;
+}
+
+}  // namespace
+
+Result<KernelLaunch> ComplementKernel(GpuDevice& device, DevicePtr data,
+                                      Bytes size, StreamId stream) {
+  auto backing = device.BackingStore(data);
+  if (backing.ok()) {
+    std::byte* bytes = *backing;
+    for (Bytes i = 0; i < size; ++i) {
+      bytes[i] = ~bytes[i];
+    }
+  } else if (backing.status().code() != StatusCode::kFailedPrecondition) {
+    // Invalid pointer is an error either way; non-materialized mode is fine.
+    return backing.status();
+  }
+
+  KernelLaunch launch;
+  launch.name = "complement_u8";
+  launch.block = {256, 1, 1};
+  launch.grid = GridFor(static_cast<std::uint64_t>(size) / 4 + 1, 256);
+  launch.stream = stream;
+  // Read + write: two passes over the data.
+  launch.duration = BandwidthPass(device.properties(), size, 2);
+  return launch;
+}
+
+Result<KernelLaunch> SaxpyKernel(GpuDevice& device, float a, DevicePtr x,
+                                 DevicePtr y, Bytes count, StreamId stream) {
+  auto x_backing = device.BackingStore(x);
+  auto y_backing = device.BackingStore(y);
+  if (x_backing.ok() && y_backing.ok()) {
+    const auto n = static_cast<std::size_t>(count);
+    for (std::size_t i = 0; i < n; ++i) {
+      float xv = 0;
+      float yv = 0;
+      std::memcpy(&xv, *x_backing + i * sizeof(float), sizeof(float));
+      std::memcpy(&yv, *y_backing + i * sizeof(float), sizeof(float));
+      const float result = a * xv + yv;
+      std::memcpy(*y_backing + i * sizeof(float), &result, sizeof(float));
+    }
+  } else if (x_backing.status().code() == StatusCode::kInvalidArgument ||
+             y_backing.status().code() == StatusCode::kInvalidArgument) {
+    return InvalidArgumentError("saxpy operand outside any allocation");
+  }
+
+  KernelLaunch launch;
+  launch.name = "saxpy_f32";
+  launch.block = {256, 1, 1};
+  launch.grid = GridFor(static_cast<std::uint64_t>(count), 256);
+  launch.stream = stream;
+  launch.duration = BandwidthPass(device.properties(),
+                                  count * static_cast<Bytes>(sizeof(float)), 3);
+  return launch;
+}
+
+KernelLaunch MatmulModel(const DeviceProp& prop, std::int64_t n, StreamId stream) {
+  KernelLaunch launch;
+  launch.name = "sgemm_model";
+  launch.block = {16, 16, 1};
+  const auto tiles = static_cast<std::uint32_t>((n + 15) / 16);
+  launch.grid = {tiles, tiles, 1};
+  launch.stream = stream;
+
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  const double peak_flops_per_sec = static_cast<double>(prop.multi_processor_count) *
+                                    static_cast<double>(prop.cuda_cores_per_mp) *
+                                    static_cast<double>(prop.clock_rate_khz) * 1e3 *
+                                    2.0;
+  const double efficiency = 0.35;  // realistic SGEMM fraction of peak
+  if (peak_flops_per_sec > 0) {
+    launch.duration = Seconds(flops / (peak_flops_per_sec * efficiency));
+  }
+  return launch;
+}
+
+}  // namespace convgpu::cudasim

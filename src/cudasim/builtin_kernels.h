@@ -1,0 +1,33 @@
+// Built-in kernel bodies for materialized-mode devices.
+//
+// The paper's multi-container sample program "copies dummy data from CPU
+// memory to GPU, calculates the complement, and returns the result". When
+// the device materializes data, these helpers really compute, so tests can
+// assert bit-exact results across the whole middleware stack. Each helper
+// also returns the KernelLaunch describing the equivalent device work for
+// the timing model.
+#pragma once
+
+#include "common/result.h"
+#include "cudasim/gpu_device.h"
+#include "cudasim/types.h"
+
+namespace convgpu::cudasim {
+
+/// dst[i] = ~dst[i] over `size` bytes, in place on the device.
+/// Duration model: one pass over the data at device memory bandwidth.
+Result<KernelLaunch> ComplementKernel(GpuDevice& device, DevicePtr data,
+                                      Bytes size,
+                                      StreamId stream = kDefaultStream);
+
+/// y[i] = a * x[i] + y[i] over `count` floats.
+Result<KernelLaunch> SaxpyKernel(GpuDevice& device, float a, DevicePtr x,
+                                 DevicePtr y, Bytes count,
+                                 StreamId stream = kDefaultStream);
+
+/// Duration-only matrix-multiply model (no materialized math): C = A×B with
+/// square dimension `n` of floats; FLOPs / (cores × clock × 2 flop/cycle).
+KernelLaunch MatmulModel(const DeviceProp& prop, std::int64_t n,
+                         StreamId stream = kDefaultStream);
+
+}  // namespace convgpu::cudasim

@@ -1,0 +1,59 @@
+// The CUDA Runtime API surface as an abstract interface.
+//
+// In the real system, interposition happens at the dynamic-linker level:
+// LD_PRELOAD puts libgpushare.so's symbols ahead of libcudart's. This
+// interface is the in-process equivalent of that seam — SimCudaApi plays
+// libcudart, and ConVGPU's WrappedCudaApi wraps any CudaApi exactly as the
+// preload library wraps the next symbol in the lookup chain. The separate
+// shared-library pair under tools/ demonstrates the genuine LD_PRELOAD
+// mechanism with the same code underneath.
+#pragma once
+
+#include <cstddef>
+
+#include "cudasim/types.h"
+
+namespace convgpu::cudasim {
+
+class CudaApi {
+ public:
+  virtual ~CudaApi() = default;
+
+  // Allocation APIs (Table II of the paper).
+  virtual CudaError Malloc(DevicePtr* dev_ptr, std::size_t size) = 0;
+  virtual CudaError MallocPitch(DevicePtr* dev_ptr, std::size_t* pitch,
+                                std::size_t width, std::size_t height) = 0;
+  virtual CudaError Malloc3D(PitchedPtr* pitched, const Extent& extent) = 0;
+  virtual CudaError MallocManaged(DevicePtr* dev_ptr, std::size_t size) = 0;
+
+  // Deallocation API.
+  virtual CudaError Free(DevicePtr dev_ptr) = 0;
+
+  // Informational APIs.
+  virtual CudaError MemGetInfo(std::size_t* free_bytes,
+                               std::size_t* total_bytes) = 0;
+  virtual CudaError GetDeviceProperties(DeviceProp* prop, int device) = 0;
+
+  // Data movement.
+  virtual CudaError MemcpyHostToDevice(DevicePtr dst, const void* src,
+                                       std::size_t count) = 0;
+  virtual CudaError MemcpyDeviceToHost(void* dst, DevicePtr src,
+                                       std::size_t count) = 0;
+  virtual CudaError MemcpyDeviceToDevice(DevicePtr dst, DevicePtr src,
+                                         std::size_t count) = 0;
+
+  // Execution.
+  virtual CudaError LaunchKernel(const KernelLaunch& launch) = 0;
+  virtual CudaError DeviceSynchronize() = 0;
+  virtual CudaError StreamCreate(StreamId* stream) = 0;
+  virtual CudaError StreamDestroy(StreamId stream) = 0;
+
+  // Module lifecycle — nvcc emits these around main(); the wrapper hooks
+  // the Unregister call to detect user-program exit.
+  virtual void RegisterFatBinary() = 0;
+  virtual void UnregisterFatBinary() = 0;
+
+  virtual CudaError GetLastError() = 0;
+};
+
+}  // namespace convgpu::cudasim

@@ -1,0 +1,150 @@
+// The simulated GPU: device memory, per-process driver contexts, streams,
+// kernel timing, and optional materialized data for end-to-end data tests.
+//
+// Thread-safe: container workloads on different threads hit the same
+// device concurrently in the integration tests, exactly like processes in
+// different Docker containers hitting one K20m in the paper.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "cudasim/kernel_engine.h"
+#include "cudasim/mem_allocator.h"
+#include "cudasim/types.h"
+
+namespace convgpu::cudasim {
+
+struct GpuDeviceOptions {
+  FitPolicy fit_policy = FitPolicy::kFirstFit;
+  /// When true, every allocation is backed by host memory so Memcpy moves
+  /// real bytes and built-in kernels compute real results. Keep off for
+  /// capacity-scale simulations (a 5 GB arena would really cost 5 GB).
+  bool materialize_data = false;
+  /// When true, driver entry points busy-wait their modeled latency so
+  /// real-time microbenchmarks see realistic costs.
+  ApiLatencyModel latency = ApiLatencyModel::None();
+};
+
+struct DeviceMemInfo {
+  Bytes free = 0;
+  Bytes total = 0;
+};
+
+/// Result of a data-transfer call: how long the transfer takes on the
+/// modeled hardware (the caller decides whether that time is simulated or
+/// slept through).
+struct TransferResult {
+  Duration duration = Duration::zero();
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(int device_id, DeviceProp prop, GpuDeviceOptions options = {});
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const DeviceProp& properties() const { return prop_; }
+
+  // --- Driver context lifecycle -------------------------------------------
+  // CUDA creates a context implicitly on a process's first runtime call and
+  // charges it device memory (64 MiB process state + 2 MiB context on the
+  // paper's K20m). Memory entry points below auto-create the context.
+
+  /// Destroys `pid`'s context: frees every allocation it still owns plus
+  /// the context overhead — the driver-side cleanup that backs
+  /// __cudaUnregisterFatBinary. No-op for unknown pids.
+  void DestroyContext(Pid pid);
+
+  /// Whether `pid` currently has a live context.
+  [[nodiscard]] bool HasContext(Pid pid) const;
+
+  // --- Memory management ---------------------------------------------------
+
+  Result<DevicePtr> Malloc(Pid pid, Bytes size);
+  /// Pitched allocation: rows padded to the device pitch alignment.
+  Result<std::pair<DevicePtr, std::size_t>> MallocPitch(Pid pid, Bytes width,
+                                                        Bytes height);
+  Result<PitchedPtr> Malloc3D(Pid pid, const Extent& extent);
+  /// Managed (unified) memory: device-side footprint rounds up to the
+  /// 128 MiB mapping granularity the paper measured.
+  Result<DevicePtr> MallocManaged(Pid pid, Bytes size);
+  Status Free(Pid pid, DevicePtr ptr);
+
+  [[nodiscard]] DeviceMemInfo MemGetInfo() const;
+  /// Bytes charged to `pid` (allocations + context overhead), 0 if none.
+  [[nodiscard]] Bytes UsedBy(Pid pid) const;
+  [[nodiscard]] std::size_t context_count() const;
+
+  // --- Data movement -------------------------------------------------------
+
+  /// Validates the device range and models transfer time. In materialized
+  /// mode the bytes really move between `host` and the backing store.
+  Result<TransferResult> CopyToDevice(Pid pid, DevicePtr dst, const void* host,
+                                      Bytes count);
+  Result<TransferResult> CopyToHost(Pid pid, void* host, DevicePtr src,
+                                    Bytes count);
+  Result<TransferResult> CopyDeviceToDevice(Pid pid, DevicePtr dst,
+                                            DevicePtr src, Bytes count);
+
+  /// Direct access to the materialized backing bytes of an allocation
+  /// (materialized mode only) — used by built-in kernels.
+  Result<std::byte*> BackingStore(DevicePtr ptr, Bytes* size_out = nullptr);
+
+  // --- Execution -----------------------------------------------------------
+
+  Result<StreamId> StreamCreate(Pid pid);
+  Status StreamDestroy(Pid pid, StreamId stream);
+  /// Issues a kernel at `now`; returns its completion time per the Hyper-Q
+  /// timing model.
+  Result<TimePoint> LaunchKernel(Pid pid, const KernelLaunch& launch,
+                                 TimePoint now);
+  [[nodiscard]] TimePoint StreamCompletion(StreamId stream, TimePoint now) const;
+  [[nodiscard]] TimePoint DeviceCompletion(TimePoint now) const;
+  [[nodiscard]] std::uint64_t kernels_launched() const;
+
+  /// Models an H2D/D2H/D2D transfer duration for `count` bytes.
+  [[nodiscard]] Duration TransferTime(MemcpyKind kind, Bytes count) const;
+
+  /// Models the wall-clock cost of cudaGetDeviceProperties (the properties
+  /// themselves are returned by the caller from properties()).
+  void SpinForPropertiesQuery() const { SpinFor(options_.latency.get_properties_latency); }
+
+  // Latency control (microbenchmark realism).
+  void set_latency_model(const ApiLatencyModel& model);
+  [[nodiscard]] const ApiLatencyModel& latency_model() const { return options_.latency; }
+
+ private:
+  struct ContextState {
+    std::set<DevicePtr> allocations;
+    DevicePtr overhead_block = kNullDevicePtr;  // the 66 MiB driver charge
+    std::vector<StreamId> streams;
+    Bytes bytes_used = 0;  // excluding overhead block
+  };
+
+  // Must hold mutex_. Creates the context (charging overhead) if absent.
+  Result<ContextState*> GetOrCreateContextLocked(Pid pid);
+  Result<DevicePtr> AllocateLocked(Pid pid, Bytes size);
+  void SpinFor(Duration latency) const;
+
+  const int id_;
+  const DeviceProp prop_;
+  GpuDeviceOptions options_;
+
+  mutable std::mutex mutex_;
+  DeviceMemoryAllocator allocator_;
+  KernelEngine engine_;
+  std::map<Pid, ContextState> contexts_;
+  std::map<DevicePtr, std::vector<std::byte>> backing_;  // materialized mode
+  StreamId next_stream_ = 1;
+};
+
+}  // namespace convgpu::cudasim

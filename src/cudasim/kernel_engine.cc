@@ -1,0 +1,61 @@
+#include "cudasim/kernel_engine.h"
+
+#include <algorithm>
+
+namespace convgpu::cudasim {
+
+void KernelEngine::PruneFinished(TimePoint now) {
+  while (!active_.empty() && active_.top() <= now) active_.pop();
+}
+
+TimePoint KernelEngine::Launch(StreamId stream, TimePoint now, Duration duration) {
+  if (duration < Duration::zero()) duration = Duration::zero();
+
+  TimePoint start = now;
+  auto it = stream_end_.find(stream);
+  if (it != stream_end_.end()) start = std::max(start, it->second);
+
+  // Hyper-Q slot availability: if the concurrency limit is reached at
+  // `start`, the kernel waits for the earliest running kernel to retire.
+  PruneFinished(start);
+  while (static_cast<int>(active_.size()) >= max_concurrent_) {
+    start = std::max(start, active_.top());
+    PruneFinished(start);
+  }
+
+  const TimePoint end = start + duration;
+  stream_end_[stream] = end;
+  active_.push(end);
+  device_end_ = std::max(device_end_, end);
+  ++launched_;
+  busy_ += duration;
+  return end;
+}
+
+TimePoint KernelEngine::StreamCompletion(StreamId stream, TimePoint now) const {
+  auto it = stream_end_.find(stream);
+  if (it == stream_end_.end()) return now;
+  return std::max(now, it->second);
+}
+
+TimePoint KernelEngine::DeviceCompletion(TimePoint now) const {
+  return std::max(now, device_end_);
+}
+
+int KernelEngine::ActiveAt(TimePoint t) const {
+  // The priority queue cannot be iterated; copy (cheap: bounded by the
+  // number of in-flight kernels, which the caller keeps small).
+  auto copy = active_;
+  int count = 0;
+  while (!copy.empty()) {
+    if (copy.top() > t) ++count;
+    copy.pop();
+  }
+  return count;
+}
+
+void KernelEngine::RegisterStream(StreamId stream) { stream_end_.try_emplace(stream, kTimeZero); }
+
+void KernelEngine::ReleaseStream(StreamId stream) { stream_end_.erase(stream); }
+
+}  // namespace convgpu::cudasim

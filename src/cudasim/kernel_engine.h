@@ -1,0 +1,58 @@
+// Hyper-Q kernel-execution timing model.
+//
+// The paper's K20m runs up to 32 kernels concurrently via Hyper-Q (§IV-A);
+// the evaluation leans on that (many containers launch kernels at once).
+// The engine is a pure timing model: given the issue time and a duration,
+// it computes when the kernel completes, honoring per-stream ordering and
+// the device-wide concurrent-kernel limit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+#include "cudasim/types.h"
+
+namespace convgpu::cudasim {
+
+class KernelEngine {
+ public:
+  explicit KernelEngine(int concurrent_kernels)
+      : max_concurrent_(concurrent_kernels) {}
+
+  /// Issues a kernel at `now`; returns its completion time.
+  /// Start time = max(now, previous kernel on the same stream finished,
+  /// earliest time a Hyper-Q slot frees up).
+  TimePoint Launch(StreamId stream, TimePoint now, Duration duration);
+
+  /// Time at which all work issued to `stream` so far is complete.
+  [[nodiscard]] TimePoint StreamCompletion(StreamId stream, TimePoint now) const;
+
+  /// Time at which all work on the device is complete.
+  [[nodiscard]] TimePoint DeviceCompletion(TimePoint now) const;
+
+  /// Number of kernels still running at `t` (by the model's accounting).
+  [[nodiscard]] int ActiveAt(TimePoint t) const;
+
+  [[nodiscard]] std::uint64_t kernels_launched() const { return launched_; }
+  /// Total kernel-duration submitted (for utilization reporting).
+  [[nodiscard]] Duration busy_time() const { return busy_; }
+
+  void RegisterStream(StreamId stream);
+  void ReleaseStream(StreamId stream);
+
+ private:
+  void PruneFinished(TimePoint now);
+
+  int max_concurrent_;
+  std::map<StreamId, TimePoint> stream_end_;  // per-stream last completion
+  // Completion times of kernels considered "active" for slot accounting.
+  std::priority_queue<TimePoint, std::vector<TimePoint>, std::greater<>> active_;
+  std::uint64_t launched_ = 0;
+  Duration busy_ = Duration::zero();
+  TimePoint device_end_ = kTimeZero;
+};
+
+}  // namespace convgpu::cudasim

@@ -1,0 +1,142 @@
+#include "cudasim/mem_allocator.h"
+
+#include <cassert>
+
+namespace convgpu::cudasim {
+
+namespace {
+
+Bytes ToOffset(DevicePtr ptr) {
+  return static_cast<Bytes>(ptr - kDevicePtrBase);
+}
+
+DevicePtr ToPtr(Bytes offset) {
+  return kDevicePtrBase + static_cast<DevicePtr>(offset);
+}
+
+}  // namespace
+
+DeviceMemoryAllocator::DeviceMemoryAllocator(Bytes capacity, Bytes alignment,
+                                             FitPolicy policy)
+    : capacity_(capacity), alignment_(alignment), policy_(policy) {
+  assert(capacity > 0 && alignment > 0);
+  free_blocks_.emplace(Bytes{0}, capacity);
+}
+
+Result<DevicePtr> DeviceMemoryAllocator::Allocate(Bytes size) {
+  if (size <= 0) {
+    return InvalidArgumentError("allocation size must be positive");
+  }
+  const Bytes needed = AlignUp(size, alignment_);
+
+  auto chosen = free_blocks_.end();
+  if (policy_ == FitPolicy::kFirstFit) {
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+      if (it->second >= needed) {
+        chosen = it;
+        break;
+      }
+    }
+  } else {
+    Bytes best_size = 0;
+    for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+      if (it->second >= needed &&
+          (chosen == free_blocks_.end() || it->second < best_size)) {
+        chosen = it;
+        best_size = it->second;
+      }
+    }
+  }
+
+  if (chosen == free_blocks_.end()) {
+    return ResourceExhaustedError("out of device memory: requested " +
+                                  FormatByteSize(needed) + ", largest free " +
+                                  FormatByteSize(largest_free_block()));
+  }
+
+  const Bytes offset = chosen->first;
+  const Bytes block_size = chosen->second;
+  free_blocks_.erase(chosen);
+  if (block_size > needed) {
+    free_blocks_.emplace(offset + needed, block_size - needed);
+  }
+  allocations_.emplace(offset, needed);
+  used_ += needed;
+  return ToPtr(offset);
+}
+
+Status DeviceMemoryAllocator::Free(DevicePtr ptr) {
+  if (ptr < kDevicePtrBase) {
+    return InvalidArgumentError("not a device pointer");
+  }
+  const Bytes offset = ToOffset(ptr);
+  auto it = allocations_.find(offset);
+  if (it == allocations_.end()) {
+    return InvalidArgumentError("free of unknown device pointer");
+  }
+  Bytes size = it->second;
+  allocations_.erase(it);
+  used_ -= size;
+
+  // Coalesce with the following free block.
+  Bytes start = offset;
+  auto next = free_blocks_.lower_bound(offset);
+  if (next != free_blocks_.end() && next->first == offset + size) {
+    size += next->second;
+    next = free_blocks_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  if (next != free_blocks_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      size += prev->second;
+      free_blocks_.erase(prev);
+    }
+  }
+  free_blocks_.emplace(start, size);
+  return Status::Ok();
+}
+
+std::optional<Bytes> DeviceMemoryAllocator::SizeOf(DevicePtr ptr) const {
+  if (ptr < kDevicePtrBase) return std::nullopt;
+  auto it = allocations_.find(ToOffset(ptr));
+  if (it == allocations_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::pair<DevicePtr, Bytes>> DeviceMemoryAllocator::FindContaining(
+    DevicePtr ptr) const {
+  if (ptr < kDevicePtrBase) return std::nullopt;
+  const Bytes offset = ToOffset(ptr);
+  auto it = allocations_.upper_bound(offset);
+  if (it == allocations_.begin()) return std::nullopt;
+  --it;
+  if (offset >= it->first + it->second) return std::nullopt;
+  return std::make_pair(ToPtr(it->first), it->second);
+}
+
+bool DeviceMemoryAllocator::ContainsRange(DevicePtr ptr, Bytes len) const {
+  if (ptr < kDevicePtrBase || len < 0) return false;
+  const Bytes offset = ToOffset(ptr);
+  auto it = allocations_.upper_bound(offset);
+  if (it == allocations_.begin()) return false;
+  --it;
+  return offset >= it->first && offset + len <= it->first + it->second;
+}
+
+Bytes DeviceMemoryAllocator::largest_free_block() const {
+  Bytes largest = 0;
+  for (const auto& [offset, size] : free_blocks_) {
+    largest = std::max(largest, size);
+  }
+  return largest;
+}
+
+double DeviceMemoryAllocator::FragmentationRatio() const {
+  const Bytes free = free_bytes();
+  if (free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) / static_cast<double>(free);
+}
+
+}  // namespace convgpu::cudasim

@@ -1,0 +1,66 @@
+// Device global-memory allocator for the simulated GPU.
+//
+// A real free-list allocator over the device arena: ConVGPU's guarantees
+// are only meaningful if the substrate genuinely runs out of memory, splits
+// and coalesces blocks, and can fragment. First-fit matches the observable
+// behaviour of the CUDA driver's suballocator closely enough for this
+// study; best-fit is provided for the allocator ablation benchmark.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "cudasim/types.h"
+
+namespace convgpu::cudasim {
+
+enum class FitPolicy { kFirstFit, kBestFit };
+
+class DeviceMemoryAllocator {
+ public:
+  /// `capacity` bytes of device memory, base addresses aligned to
+  /// `alignment` (CUDA guarantees >= 256-byte alignment for cudaMalloc).
+  explicit DeviceMemoryAllocator(Bytes capacity, Bytes alignment = 256,
+                                 FitPolicy policy = FitPolicy::kFirstFit);
+
+  /// Allocates `size` bytes; kResourceExhausted when no free block fits
+  /// (which, with fragmentation, can happen even when free_bytes() >= size).
+  Result<DevicePtr> Allocate(Bytes size);
+
+  /// Frees a pointer previously returned by Allocate. kInvalidArgument for
+  /// unknown pointers (maps to cudaErrorInvalidDevicePointer upstream).
+  Status Free(DevicePtr ptr);
+
+  /// Size of the live allocation at `ptr`, if any.
+  [[nodiscard]] std::optional<Bytes> SizeOf(DevicePtr ptr) const;
+  [[nodiscard]] bool Owns(DevicePtr ptr) const { return SizeOf(ptr).has_value(); }
+
+  /// Range check: is [ptr, ptr+len) inside one live allocation?
+  [[nodiscard]] bool ContainsRange(DevicePtr ptr, Bytes len) const;
+
+  /// The live allocation containing `ptr`, as (base pointer, size).
+  [[nodiscard]] std::optional<std::pair<DevicePtr, Bytes>> FindContaining(
+      DevicePtr ptr) const;
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used_bytes() const { return used_; }
+  [[nodiscard]] Bytes free_bytes() const { return capacity_ - used_; }
+  [[nodiscard]] Bytes largest_free_block() const;
+  [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }
+  [[nodiscard]] std::size_t free_block_count() const { return free_blocks_.size(); }
+
+  /// 0 = one contiguous free region, →1 = badly fragmented.
+  [[nodiscard]] double FragmentationRatio() const;
+
+ private:
+  Bytes capacity_;
+  Bytes alignment_;
+  FitPolicy policy_;
+  Bytes used_ = 0;
+  std::map<Bytes, Bytes> free_blocks_;  // offset -> size, address-ordered
+  std::map<Bytes, Bytes> allocations_;  // offset -> size
+};
+
+}  // namespace convgpu::cudasim

@@ -1,0 +1,194 @@
+#include "cudasim/sim_cuda_api.h"
+
+namespace convgpu::cudasim {
+
+CudaError StatusToCudaError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return CudaError::kSuccess;
+    case StatusCode::kResourceExhausted:
+      return CudaError::kMemoryAllocation;
+    case StatusCode::kInvalidArgument:
+      return CudaError::kInvalidValue;
+    case StatusCode::kNotFound:
+      return CudaError::kInvalidDevicePointer;
+    case StatusCode::kFailedPrecondition:
+      return CudaError::kInitializationError;
+    case StatusCode::kUnavailable:
+      return CudaError::kSchedulerUnavailable;
+    default:
+      return CudaError::kInitializationError;
+  }
+}
+
+SimCudaApi::SimCudaApi(GpuDevice* device, Pid pid, const Clock* clock)
+    : device_(device), pid_(pid), clock_(clock) {}
+
+SimCudaApi::~SimCudaApi() {
+  // Mirrors driver behaviour: process teardown destroys the context even if
+  // the program never called __cudaUnregisterFatBinary.
+  device_->DestroyContext(pid_);
+}
+
+TimePoint SimCudaApi::Now() const {
+  if (clock_ != nullptr) return clock_->Now();
+  return RealClock::Instance().Now();
+}
+
+CudaError SimCudaApi::Record(CudaError error) {
+  if (error != CudaError::kSuccess) {
+    std::lock_guard lock(mutex_);
+    last_error_ = error;
+  }
+  return error;
+}
+
+CudaError SimCudaApi::Malloc(DevicePtr* dev_ptr, std::size_t size) {
+  if (dev_ptr == nullptr) return Record(CudaError::kInvalidValue);
+  auto result = device_->Malloc(pid_, static_cast<Bytes>(size));
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  *dev_ptr = *result;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::MallocPitch(DevicePtr* dev_ptr, std::size_t* pitch,
+                                  std::size_t width, std::size_t height) {
+  if (dev_ptr == nullptr || pitch == nullptr) {
+    return Record(CudaError::kInvalidValue);
+  }
+  auto result = device_->MallocPitch(pid_, static_cast<Bytes>(width),
+                                     static_cast<Bytes>(height));
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  *dev_ptr = result->first;
+  *pitch = result->second;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::Malloc3D(PitchedPtr* pitched, const Extent& extent) {
+  if (pitched == nullptr) return Record(CudaError::kInvalidValue);
+  auto result = device_->Malloc3D(pid_, extent);
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  *pitched = *result;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::MallocManaged(DevicePtr* dev_ptr, std::size_t size) {
+  if (dev_ptr == nullptr) return Record(CudaError::kInvalidValue);
+  auto result = device_->MallocManaged(pid_, static_cast<Bytes>(size));
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  *dev_ptr = *result;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::Free(DevicePtr dev_ptr) {
+  if (dev_ptr == kNullDevicePtr) return CudaError::kSuccess;  // free(NULL)
+  return Record(StatusToCudaError(device_->Free(pid_, dev_ptr)));
+}
+
+CudaError SimCudaApi::MemGetInfo(std::size_t* free_bytes,
+                                 std::size_t* total_bytes) {
+  if (free_bytes == nullptr || total_bytes == nullptr) {
+    return Record(CudaError::kInvalidValue);
+  }
+  const DeviceMemInfo info = device_->MemGetInfo();
+  *free_bytes = static_cast<std::size_t>(info.free);
+  *total_bytes = static_cast<std::size_t>(info.total);
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::GetDeviceProperties(DeviceProp* prop, int device) {
+  if (prop == nullptr) return Record(CudaError::kInvalidValue);
+  if (device != device_->id()) return Record(CudaError::kInvalidValue);
+  device_->SpinForPropertiesQuery();
+  *prop = device_->properties();
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::MemcpyHostToDevice(DevicePtr dst, const void* src,
+                                         std::size_t count) {
+  auto result = device_->CopyToDevice(pid_, dst, src, static_cast<Bytes>(count));
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  std::lock_guard lock(mutex_);
+  stats_.transfer_time += result->duration;
+  ++stats_.memcpy_calls;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::MemcpyDeviceToHost(void* dst, DevicePtr src,
+                                         std::size_t count) {
+  auto result = device_->CopyToHost(pid_, dst, src, static_cast<Bytes>(count));
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  std::lock_guard lock(mutex_);
+  stats_.transfer_time += result->duration;
+  ++stats_.memcpy_calls;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::MemcpyDeviceToDevice(DevicePtr dst, DevicePtr src,
+                                           std::size_t count) {
+  auto result =
+      device_->CopyDeviceToDevice(pid_, dst, src, static_cast<Bytes>(count));
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  std::lock_guard lock(mutex_);
+  stats_.transfer_time += result->duration;
+  ++stats_.memcpy_calls;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::LaunchKernel(const KernelLaunch& launch) {
+  auto completion = device_->LaunchKernel(pid_, launch, Now());
+  if (!completion.ok()) return Record(StatusToCudaError(completion.status()));
+  std::lock_guard lock(mutex_);
+  stats_.kernel_time += launch.duration;
+  ++stats_.kernel_launches;
+  stats_.last_completion = std::max(stats_.last_completion, *completion);
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::DeviceSynchronize() {
+  // Timing-model synchronize: the completion horizon is queryable through
+  // stats(); nothing blocks because kernel time is simulated.
+  std::lock_guard lock(mutex_);
+  stats_.last_completion =
+      std::max(stats_.last_completion, device_->DeviceCompletion(Now()));
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::StreamCreate(StreamId* stream) {
+  if (stream == nullptr) return Record(CudaError::kInvalidValue);
+  auto result = device_->StreamCreate(pid_);
+  if (!result.ok()) return Record(StatusToCudaError(result.status()));
+  *stream = *result;
+  return CudaError::kSuccess;
+}
+
+CudaError SimCudaApi::StreamDestroy(StreamId stream) {
+  return Record(StatusToCudaError(device_->StreamDestroy(pid_, stream)));
+}
+
+void SimCudaApi::RegisterFatBinary() {
+  std::lock_guard lock(mutex_);
+  fat_binary_registered_ = true;
+}
+
+void SimCudaApi::UnregisterFatBinary() {
+  {
+    std::lock_guard lock(mutex_);
+    fat_binary_registered_ = false;
+  }
+  device_->DestroyContext(pid_);
+}
+
+CudaError SimCudaApi::GetLastError() {
+  std::lock_guard lock(mutex_);
+  const CudaError error = last_error_;
+  last_error_ = CudaError::kSuccess;
+  return error;
+}
+
+GpuTimeStats SimCudaApi::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace convgpu::cudasim

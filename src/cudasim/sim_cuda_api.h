@@ -1,0 +1,80 @@
+// SimCudaApi: one "process"'s view of the simulated CUDA runtime.
+//
+// Each instance stands in for libcudart loaded into one user program: it
+// carries the process id the driver sees, lazily creates the driver context
+// on first use (charging the 66 MiB the paper measured), and aggregates the
+// per-process timing statistics the benchmarks read.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "cudasim/cuda_api.h"
+#include "cudasim/gpu_device.h"
+
+namespace convgpu::cudasim {
+
+/// Per-process accumulated GPU timing (modeled, not wall-clock).
+struct GpuTimeStats {
+  Duration kernel_time = Duration::zero();    // sum of kernel durations
+  Duration transfer_time = Duration::zero();  // sum of memcpy durations
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t memcpy_calls = 0;
+  TimePoint last_completion = kTimeZero;      // engine completion horizon
+};
+
+class SimCudaApi final : public CudaApi {
+ public:
+  /// `device` must outlive this object. `clock` provides kernel issue
+  /// timestamps (RealClock for live runs, SimClock under the DES).
+  SimCudaApi(GpuDevice* device, Pid pid, const Clock* clock = nullptr);
+  ~SimCudaApi() override;
+
+  SimCudaApi(const SimCudaApi&) = delete;
+  SimCudaApi& operator=(const SimCudaApi&) = delete;
+
+  CudaError Malloc(DevicePtr* dev_ptr, std::size_t size) override;
+  CudaError MallocPitch(DevicePtr* dev_ptr, std::size_t* pitch,
+                        std::size_t width, std::size_t height) override;
+  CudaError Malloc3D(PitchedPtr* pitched, const Extent& extent) override;
+  CudaError MallocManaged(DevicePtr* dev_ptr, std::size_t size) override;
+  CudaError Free(DevicePtr dev_ptr) override;
+  CudaError MemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) override;
+  CudaError GetDeviceProperties(DeviceProp* prop, int device) override;
+  CudaError MemcpyHostToDevice(DevicePtr dst, const void* src,
+                               std::size_t count) override;
+  CudaError MemcpyDeviceToHost(void* dst, DevicePtr src,
+                               std::size_t count) override;
+  CudaError MemcpyDeviceToDevice(DevicePtr dst, DevicePtr src,
+                                 std::size_t count) override;
+  CudaError LaunchKernel(const KernelLaunch& launch) override;
+  CudaError DeviceSynchronize() override;
+  CudaError StreamCreate(StreamId* stream) override;
+  CudaError StreamDestroy(StreamId stream) override;
+  void RegisterFatBinary() override;
+  void UnregisterFatBinary() override;
+  CudaError GetLastError() override;
+
+  [[nodiscard]] Pid pid() const { return pid_; }
+  [[nodiscard]] GpuDevice* device() const { return device_; }
+  [[nodiscard]] GpuTimeStats stats() const;
+
+ private:
+  CudaError Record(CudaError error);
+  [[nodiscard]] TimePoint Now() const;
+
+  GpuDevice* device_;
+  Pid pid_;
+  const Clock* clock_;
+
+  mutable std::mutex mutex_;
+  GpuTimeStats stats_;
+  CudaError last_error_ = CudaError::kSuccess;
+  bool fat_binary_registered_ = false;
+};
+
+/// Maps a Status from the device layer onto the CUDA error vocabulary.
+CudaError StatusToCudaError(const Status& status);
+
+}  // namespace convgpu::cudasim

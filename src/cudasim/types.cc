@@ -1,0 +1,73 @@
+#include "cudasim/types.h"
+
+namespace convgpu::cudasim {
+
+std::string_view CudaErrorString(CudaError error) {
+  switch (error) {
+    case CudaError::kSuccess:
+      return "no error";
+    case CudaError::kMemoryAllocation:
+      return "out of memory";
+    case CudaError::kInitializationError:
+      return "initialization error";
+    case CudaError::kInvalidValue:
+      return "invalid argument";
+    case CudaError::kInvalidDevicePointer:
+      return "invalid device pointer";
+    case CudaError::kInvalidMemcpyDirection:
+      return "invalid copy direction for memcpy";
+    case CudaError::kInvalidResourceHandle:
+      return "invalid resource handle";
+    case CudaError::kNotReady:
+      return "device not ready";
+    case CudaError::kNoDevice:
+      return "no CUDA-capable device is detected";
+    case CudaError::kSchedulerUnavailable:
+      return "ConVGPU scheduler unavailable";
+  }
+  return "unknown error";
+}
+
+DeviceProp TeslaK20m() {
+  DeviceProp p;
+  p.name = "Tesla K20m";
+  p.total_global_mem = 5 * kGiB;
+  p.multi_processor_count = 13;
+  p.cuda_cores_per_mp = 192;
+  p.clock_rate_khz = 705'500;
+  p.memory_bandwidth_per_sec = 208 * kGiB;  // GDDR5 @ 5.2 GT/s, 320-bit
+  p.concurrent_kernels = 32;                // Hyper-Q
+  p.major = 3;
+  p.minor = 5;
+  return p;
+}
+
+DeviceProp GtxTitanX() {
+  DeviceProp p;
+  p.name = "GTX TITAN X";
+  p.total_global_mem = 12 * kGiB;
+  p.multi_processor_count = 24;
+  p.cuda_cores_per_mp = 128;
+  p.clock_rate_khz = 1'000'000;
+  p.memory_bandwidth_per_sec = 336 * kGiB;
+  p.concurrent_kernels = 32;
+  p.major = 5;
+  p.minor = 2;
+  return p;
+}
+
+DeviceProp TeslaV100() {
+  DeviceProp p;
+  p.name = "Tesla V100-PCIE-16GB";
+  p.total_global_mem = 16 * kGiB;
+  p.multi_processor_count = 80;
+  p.cuda_cores_per_mp = 64;
+  p.clock_rate_khz = 1'380'000;
+  p.memory_bandwidth_per_sec = 900 * kGiB;
+  p.concurrent_kernels = 128;
+  p.major = 7;
+  p.minor = 0;
+  return p;
+}
+
+}  // namespace convgpu::cudasim

@@ -1,0 +1,149 @@
+// Core value types of the simulated CUDA runtime.
+//
+// The middleware only ever sees the CUDA *API surface*; these types mirror
+// the subset of CUDA 8.0 that ConVGPU's wrapper module touches (Table II of
+// the paper) plus the memcpy/kernel-launch surface the evaluation workloads
+// exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace convgpu::cudasim {
+
+/// Simulated device pointer: an offset into the device's virtual arena,
+/// biased so it can never be confused with a host pointer or null. The
+/// base sits in the x86-64 gap between PIE text/heap (~0x55xx'…) and the
+/// mmap/stack region (~0x7fxx'…); the 1 TiB span bound lets the C ABI
+/// layer distinguish device pointers from host pointers reliably.
+using DevicePtr = std::uint64_t;
+inline constexpr DevicePtr kDevicePtrBase = 0x6000'0000'0000ULL;
+inline constexpr DevicePtr kDevicePtrSpan = 1ULL << 40;  // 1 TiB
+inline constexpr DevicePtr kNullDevicePtr = 0;
+
+/// Whether `p` lies inside the simulated device arena's address range.
+constexpr bool IsSimDevicePointer(DevicePtr p) {
+  return p >= kDevicePtrBase && p < kDevicePtrBase + kDevicePtrSpan;
+}
+
+/// Mirrors the cudaError_t values the middleware cares about.
+enum class CudaError : int {
+  kSuccess = 0,
+  kMemoryAllocation = 2,        // cudaErrorMemoryAllocation
+  kInitializationError = 3,     // cudaErrorInitializationError
+  kInvalidValue = 11,           // cudaErrorInvalidValue
+  kInvalidDevicePointer = 17,   // cudaErrorInvalidDevicePointer
+  kInvalidMemcpyDirection = 21, // cudaErrorInvalidMemcpyDirection
+  kInvalidResourceHandle = 33,  // cudaErrorInvalidResourceHandle
+  kNotReady = 600,              // cudaErrorNotReady
+  kNoDevice = 100,              // cudaErrorNoDevice
+  kSchedulerUnavailable = 999,  // ConVGPU-specific: middleware unreachable
+};
+
+std::string_view CudaErrorString(CudaError error);
+
+enum class MemcpyKind {
+  kHostToHost = 0,
+  kHostToDevice = 1,
+  kDeviceToHost = 2,
+  kDeviceToDevice = 3,
+};
+
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  [[nodiscard]] std::uint64_t Count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+};
+
+struct Extent {
+  std::size_t width = 0;   // bytes
+  std::size_t height = 0;  // rows
+  std::size_t depth = 0;   // slices
+};
+
+struct PitchedPtr {
+  DevicePtr ptr = kNullDevicePtr;
+  std::size_t pitch = 0;   // bytes per row after padding
+  std::size_t xsize = 0;   // requested row width in bytes
+  std::size_t ysize = 0;   // rows
+};
+
+/// The property subset the wrapper module reads via
+/// cudaGetDeviceProperties (pitch geometry, memory size, Hyper-Q width).
+struct DeviceProp {
+  std::string name;
+  Bytes total_global_mem = 0;
+  int multi_processor_count = 0;
+  int cuda_cores_per_mp = 0;
+  int clock_rate_khz = 0;
+  Bytes memory_bandwidth_per_sec = 0;  // device-to-device copy timing
+  Bytes pcie_bandwidth_per_sec = 6 * kGiB;  // host<->device copy timing
+  std::size_t texture_pitch_alignment = 32;
+  std::size_t pitch_alignment = 512;   // row pitch granularity
+  std::size_t malloc_alignment = 256;  // base address granularity
+  int concurrent_kernels = 32;         // Hyper-Q width
+  int major = 3;                       // compute capability
+  int minor = 5;
+  /// Driver-side context cost charged on first use by a process: the paper
+  /// measured 64 MiB per process + 2 MiB per context on the K20m.
+  Bytes process_overhead = 64 * kMiB;
+  Bytes context_overhead = 2 * kMiB;
+  /// cudaMallocManaged rounds mapped allocations to this granularity
+  /// (128 MiB observed in the paper).
+  Bytes managed_granularity = 128 * kMiB;
+};
+
+/// Named device presets; the paper's testbed GPU is the default everywhere.
+DeviceProp TeslaK20m();   // 5 GB, 13 SMs, Hyper-Q 32 — the paper's GPU
+DeviceProp GtxTitanX();   // 12 GB Maxwell
+DeviceProp TeslaV100();   // 16 GB Volta, 128 concurrent kernels
+
+/// Stream handle. Stream 0 is the default (legacy, synchronizing) stream.
+using StreamId = std::uint64_t;
+inline constexpr StreamId kDefaultStream = 0;
+
+/// Wall-clock cost of each driver entry point, used by the real-time mode
+/// to make microbenchmarks realistic. Values are centered on the paper's
+/// Fig. 4 "without ConVGPU" measurements on the K20m (alloc ≈ 0.035 ms;
+/// cudaMallocManaged ≈ 40× an ordinary alloc because of CPU/GPU mapping).
+/// Zeroed in simulation/unit-test mode.
+struct ApiLatencyModel {
+  Duration malloc_latency = Duration::zero();
+  Duration malloc_managed_latency = Duration::zero();
+  Duration free_latency = Duration::zero();
+  Duration mem_get_info_latency = Duration::zero();
+  Duration get_properties_latency = Duration::zero();
+  Duration launch_latency = Duration::zero();
+
+  static ApiLatencyModel None() { return {}; }
+  static ApiLatencyModel RealisticK20m() {
+    ApiLatencyModel m;
+    m.malloc_latency = Millis(0.035);
+    m.malloc_managed_latency = Millis(1.4);
+    m.free_latency = Millis(0.028);
+    m.mem_get_info_latency = Millis(0.045);
+    m.get_properties_latency = Millis(0.040);
+    m.launch_latency = Millis(0.007);
+    return m;
+  }
+};
+
+/// A kernel launch as the simulator sees it: shape plus a duration model.
+/// Real kernels' run time is unknowable without executing them; workloads
+/// supply the duration (e.g. the MNIST model derives it from FLOP counts).
+struct KernelLaunch {
+  std::string name;
+  Dim3 grid;
+  Dim3 block;
+  StreamId stream = kDefaultStream;
+  Duration duration = Duration::zero();
+};
+
+}  // namespace convgpu::cudasim

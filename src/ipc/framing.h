@@ -1,0 +1,28 @@
+// Message framing: 4-byte big-endian length prefix + JSON payload bytes.
+//
+// UNIX stream sockets provide a byte stream; ConVGPU's protocol is message
+// oriented, so every JSON document travels in one frame.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "json/json.h"
+
+namespace convgpu::ipc {
+
+/// Upper bound on a frame payload — protocol messages are tiny; anything
+/// bigger indicates a desynchronized stream or hostile peer.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+/// Writes one length-prefixed frame (blocking).
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one complete frame (blocking). kAborted on clean EOF between frames.
+Result<std::string> ReadFrame(int fd);
+
+/// JSON convenience layer.
+Status WriteMessage(int fd, const json::Json& message);
+Result<json::Json> ReadMessage(int fd);
+
+}  // namespace convgpu::ipc

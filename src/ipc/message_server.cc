@@ -1,0 +1,304 @@
+#include "ipc/message_server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "ipc/framing.h"
+
+namespace convgpu::ipc {
+
+namespace {
+
+constexpr char kTag[] = "ipc";
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string FrameBytes(const json::Json& message) {
+  const std::string payload = message.Dump();
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(n & 0xFF));
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+MessageServer::~MessageServer() { Stop(); }
+
+Status MessageServer::Start(const std::string& path, MessageHandler on_message,
+                            DisconnectHandler on_disconnect) {
+  if (reactor_.joinable()) {
+    return FailedPreconditionError("server already started");
+  }
+  auto listener = UnixListener::Bind(path);
+  if (!listener.ok()) return listener.status();
+  listener_.emplace(std::move(*listener));
+  path_ = path;
+  SetNonBlocking(listener_->fd());
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return InternalError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_.Reset(pipe_fds[0]);
+  wake_write_.Reset(pipe_fds[1]);
+  SetNonBlocking(wake_read_.get());
+  SetNonBlocking(wake_write_.get());
+
+  on_message_ = std::move(on_message);
+  on_disconnect_ = std::move(on_disconnect);
+  {
+    std::lock_guard lock(mutex_);
+    running_ = true;
+  }
+  reactor_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void MessageServer::Wake() {
+  const char byte = 'w';
+  // Best effort; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = connections_.find(conn);
+    if (it == connections_.end()) {
+      return NotFoundError("connection " + std::to_string(conn) + " gone");
+    }
+    it->second.write_queue.push_back(FrameBytes(message));
+  }
+  Wake();
+  return Status::Ok();
+}
+
+void MessageServer::CloseConnection(ConnectionId conn) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = connections_.find(conn);
+    if (it == connections_.end()) return;
+    it->second.closing = true;
+  }
+  Wake();
+}
+
+void MessageServer::Stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  Wake();
+  if (reactor_.joinable()) reactor_.join();
+  {
+    std::lock_guard lock(mutex_);
+    connections_.clear();
+  }
+  listener_.reset();
+}
+
+std::size_t MessageServer::connection_count() const {
+  std::lock_guard lock(mutex_);
+  return connections_.size();
+}
+
+void MessageServer::DropConnection(ConnectionId id) {
+  {
+    std::lock_guard lock(mutex_);
+    if (connections_.erase(id) == 0) return;
+  }
+  if (on_disconnect_) on_disconnect_(id);
+}
+
+void MessageServer::HandleReadable(ConnectionId id) {
+  // Drain available bytes into the connection's read buffer, then peel off
+  // complete frames. The handler may call Send()/CloseConnection(), which
+  // take the mutex, so the buffer is copied out before dispatching.
+  std::vector<json::Json> messages;
+  bool drop = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd.get(), chunk, sizeof(chunk));
+      if (n > 0) {
+        conn.read_buffer.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        drop = true;  // peer closed
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      drop = true;
+      break;
+    }
+
+    // Extract complete frames.
+    while (conn.read_buffer.size() >= 4) {
+      const auto* b = reinterpret_cast<const unsigned char*>(conn.read_buffer.data());
+      const std::uint32_t length = (static_cast<std::uint32_t>(b[0]) << 24) |
+                                   (static_cast<std::uint32_t>(b[1]) << 16) |
+                                   (static_cast<std::uint32_t>(b[2]) << 8) |
+                                   static_cast<std::uint32_t>(b[3]);
+      if (length > kMaxFrameBytes) {
+        CONVGPU_LOG(kWarn, kTag) << "dropping connection " << id
+                                 << ": oversized frame " << length;
+        drop = true;
+        break;
+      }
+      if (conn.read_buffer.size() < 4 + length) break;
+      auto parsed = json::Json::Parse(
+          std::string_view(conn.read_buffer).substr(4, length));
+      conn.read_buffer.erase(0, 4 + static_cast<std::size_t>(length));
+      if (!parsed.ok()) {
+        CONVGPU_LOG(kWarn, kTag)
+            << "bad JSON from connection " << id << ": "
+            << parsed.status().ToString();
+        continue;  // skip the malformed frame, keep the connection
+      }
+      messages.push_back(std::move(*parsed));
+    }
+  }
+
+  for (auto& message : messages) {
+    if (on_message_) on_message_(id, std::move(message));
+  }
+  if (drop) DropConnection(id);
+}
+
+void MessageServer::HandleWritable(ConnectionId id) {
+  bool drop = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+    while (!conn.write_queue.empty()) {
+      const std::string& frame = conn.write_queue.front();
+      const ssize_t n =
+          ::send(conn.fd.get(), frame.data() + conn.write_offset,
+                 frame.size() - conn.write_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        drop = true;
+        break;
+      }
+      conn.write_offset += static_cast<std::size_t>(n);
+      if (conn.write_offset == frame.size()) {
+        conn.write_queue.pop_front();
+        conn.write_offset = 0;
+      }
+    }
+    if (!drop && conn.closing && conn.write_queue.empty()) drop = true;
+  }
+  if (drop) DropConnection(id);
+}
+
+void MessageServer::Run() {
+  std::vector<pollfd> fds;
+  std::vector<ConnectionId> ids;  // parallel to fds entries >= 2
+
+  for (;;) {
+    {
+      std::lock_guard lock(mutex_);
+      if (!running_) break;
+      fds.clear();
+      ids.clear();
+      fds.push_back({listener_->fd(), POLLIN, 0});
+      fds.push_back({wake_read_.get(), POLLIN, 0});
+      for (auto& [id, conn] : connections_) {
+        short events = POLLIN;
+        if (!conn.write_queue.empty() || conn.closing) events |= POLLOUT;
+        fds.push_back({conn.fd.get(), events, 0});
+        ids.push_back(id);
+      }
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 1000 /* ms */);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CONVGPU_LOG(kError, kTag) << "poll failed: " << std::strerror(errno);
+      break;
+    }
+
+    // Drain wakeup pipe.
+    if ((fds[1].revents & POLLIN) != 0) {
+      char sink[64];
+      while (::read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+      }
+    }
+
+    // Accept new connections.
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int client = ::accept(listener_->fd(), nullptr, nullptr);
+        if (client < 0) break;
+        SetNonBlocking(client);
+        std::lock_guard lock(mutex_);
+        const ConnectionId id = next_id_++;
+        connections_[id].fd.Reset(client);
+      }
+    }
+
+    // Service connections (snapshot matched at poll time).
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const ConnectionId id = ids[i - 2];
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        // Read anything pending first so final messages are not lost.
+        HandleReadable(id);
+        DropConnection(id);
+        continue;
+      }
+      if ((fds[i].revents & POLLIN) != 0) HandleReadable(id);
+      if ((fds[i].revents & POLLOUT) != 0) HandleWritable(id);
+    }
+
+    // Flush any writes queued while we were dispatching, and close drained
+    // connections marked for closing.
+    for (std::size_t i = 2; i < fds.size(); ++i) HandleWritable(ids[i - 2]);
+  }
+}
+
+Result<std::unique_ptr<MessageClient>> MessageClient::ConnectUnix(
+    const std::string& path) {
+  auto fd = UnixConnect(path);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<MessageClient>(new MessageClient(std::move(*fd)));
+}
+
+Status MessageClient::Send(const json::Json& message) {
+  std::lock_guard lock(write_mutex_);
+  return WriteMessage(fd_.get(), message);
+}
+
+Result<json::Json> MessageClient::Recv() { return ReadMessage(fd_.get()); }
+
+Result<json::Json> MessageClient::Call(const json::Json& request) {
+  CONVGPU_RETURN_IF_ERROR(Send(request));
+  return Recv();
+}
+
+}  // namespace convgpu::ipc

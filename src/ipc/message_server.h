@@ -1,0 +1,115 @@
+// Poll-based message server for UNIX domain sockets.
+//
+// This is the reactor under the GPU memory scheduler daemon. The critical
+// requirement (paper §III-D): a memory-allocation request may be *suspended*
+// — no reply is sent until another container releases memory — so the server
+// decouples request receipt from reply: handlers get a ConnectionId and any
+// thread may Send() a reply later. A self-pipe wakes the poll loop when
+// replies are queued from outside the reactor thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "ipc/fd.h"
+#include "ipc/socket.h"
+#include "json/json.h"
+
+namespace convgpu::ipc {
+
+using ConnectionId = std::uint64_t;
+
+/// Multiplexed JSON-message server over a UNIX listener. Start() spawns the
+/// reactor thread; Stop() joins it. Handlers run on the reactor thread.
+class MessageServer {
+ public:
+  using MessageHandler = std::function<void(ConnectionId, json::Json)>;
+  using DisconnectHandler = std::function<void(ConnectionId)>;
+
+  MessageServer() = default;
+  MessageServer(const MessageServer&) = delete;
+  MessageServer& operator=(const MessageServer&) = delete;
+  ~MessageServer();
+
+  /// Binds `path` and starts the reactor.
+  Status Start(const std::string& path, MessageHandler on_message,
+               DisconnectHandler on_disconnect = nullptr);
+
+  /// Queues a message on `conn`'s write queue. Safe from any thread,
+  /// including reentrantly from the message handler. Returns kNotFound if
+  /// the connection is gone (the caller treats that as a vanished client).
+  Status Send(ConnectionId conn, const json::Json& message);
+
+  /// Closes one connection (flushing already-queued writes first).
+  void CloseConnection(ConnectionId conn);
+
+  /// Stops the reactor and closes everything. Idempotent.
+  void Stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+  [[nodiscard]] std::size_t connection_count() const;
+
+ private:
+  struct Connection {
+    Fd fd;
+    std::string read_buffer;
+    std::deque<std::string> write_queue;  // framed bytes, header included
+    std::size_t write_offset = 0;         // progress into front frame
+    bool closing = false;                 // close once write queue drains
+  };
+
+  void Run();
+  void Wake();
+  void HandleReadable(ConnectionId id);
+  void HandleWritable(ConnectionId id);
+  void DropConnection(ConnectionId id);
+
+  std::optional<UnixListener> listener_;
+  std::string path_;
+  Fd wake_read_, wake_write_;
+  std::thread reactor_;
+  MessageHandler on_message_;
+  DisconnectHandler on_disconnect_;
+
+  mutable std::mutex mutex_;  // guards connections_ and running_
+  std::map<ConnectionId, Connection> connections_;
+  ConnectionId next_id_ = 1;
+  bool running_ = false;
+};
+
+/// Blocking JSON-message client (used by the wrapper module, the customized
+/// nvidia-docker, and the plugin). A suspended allocation request simply
+/// blocks inside Call() until the scheduler finally replies — exactly the
+/// paper's "the response from the scheduler will be suspended".
+class MessageClient {
+ public:
+  static Result<std::unique_ptr<MessageClient>> ConnectUnix(
+      const std::string& path);
+
+  MessageClient(const MessageClient&) = delete;
+  MessageClient& operator=(const MessageClient&) = delete;
+
+  Status Send(const json::Json& message);
+  Result<json::Json> Recv();
+  /// Send then block for exactly one reply.
+  Result<json::Json> Call(const json::Json& request);
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  explicit MessageClient(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  std::mutex write_mutex_;  // Send() may race with itself across threads
+};
+
+}  // namespace convgpu::ipc

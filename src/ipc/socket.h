@@ -1,0 +1,70 @@
+// Blocking stream-socket primitives: UNIX domain sockets (the transport the
+// paper chose, §III-A) plus TCP loopback (kept for the transport ablation
+// benchmark that justifies that choice).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "ipc/fd.h"
+
+namespace convgpu::ipc {
+
+/// Listening UNIX domain socket bound to a filesystem path. The path is
+/// unlinked on construction (stale socket files) and on destruction.
+class UnixListener {
+ public:
+  static Result<UnixListener> Bind(const std::string& path, int backlog = 64);
+
+  UnixListener(UnixListener&&) = default;
+  UnixListener& operator=(UnixListener&&) = default;
+  ~UnixListener();
+
+  /// Blocking accept. Fails with kAborted if the listener was closed.
+  Result<Fd> Accept();
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  UnixListener(Fd fd, std::string path) : fd_(std::move(fd)), path_(std::move(path)) {}
+
+  Fd fd_;
+  std::string path_;
+};
+
+/// Blocking connect to a UNIX socket path.
+Result<Fd> UnixConnect(const std::string& path);
+
+/// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral).
+class TcpListener {
+ public:
+  static Result<TcpListener> Bind(std::uint16_t port = 0, int backlog = 64);
+
+  Result<Fd> Accept();
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(Fd fd, std::uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:`port`.
+Result<Fd> TcpConnect(std::uint16_t port);
+
+/// Connected AF_UNIX socket pair (for in-process tests of socket code).
+Result<std::pair<Fd, Fd>> SocketPair();
+
+/// Writes all `size` bytes, retrying on EINTR / short writes.
+Status WriteExact(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes. kAborted on clean EOF at offset 0,
+/// kInternal on mid-message EOF.
+Status ReadExact(int fd, void* data, std::size_t size);
+
+}  // namespace convgpu::ipc

@@ -1,0 +1,493 @@
+#include "json/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace convgpu::json {
+
+std::int64_t Json::as_int() const {
+  if (is_double()) {
+    const double d = std::get<double>(value_);
+    assert(d == std::floor(d) && "as_int on non-integral double");
+    return static_cast<std::int64_t>(d);
+  }
+  return std::get<std::int64_t>(value_);
+}
+
+double Json::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  return std::get<double>(value_);
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::optional<std::int64_t> Json::GetInt(std::string_view key) const {
+  const Json* j = Find(key);
+  if (j == nullptr || !j->is_number()) return std::nullopt;
+  return j->as_int();
+}
+
+std::optional<double> Json::GetDouble(std::string_view key) const {
+  const Json* j = Find(key);
+  if (j == nullptr || !j->is_number()) return std::nullopt;
+  return j->as_double();
+}
+
+std::optional<bool> Json::GetBool(std::string_view key) const {
+  const Json* j = Find(key);
+  if (j == nullptr || !j->is_bool()) return std::nullopt;
+  return j->as_bool();
+}
+
+std::optional<std::string> Json::GetString(std::string_view key) const {
+  const Json* j = Find(key);
+  if (j == nullptr || !j->is_string()) return std::nullopt;
+  return j->as_string();
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  assert(is_object());
+  auto& obj = std::get<Object>(value_);
+  auto it = obj.find(key);
+  if (it == obj.end()) {
+    it = obj.emplace(std::string(key), Json()).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim.
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind()) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += std::get<bool>(value_) ? "true" : "false";
+      return;
+    case Kind::kInt: {
+      char buf[32];
+      auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof(buf), std::get<std::int64_t>(value_));
+      (void)ec;
+      out.append(buf, ptr);
+      return;
+    }
+    case Kind::kDouble: {
+      const double d = std::get<double>(value_);
+      if (std::isnan(d) || std::isinf(d)) {
+        out += "null";  // JSON has no NaN/Inf; mirror common library behaviour.
+        return;
+      }
+      char buf[40];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+      (void)ec;
+      std::string_view text(buf, static_cast<std::size_t>(ptr - buf));
+      out += text;
+      // Ensure doubles stay doubles on re-parse.
+      if (text.find_first_of(".eE") == std::string_view::npos) out += ".0";
+      return;
+    }
+    case Kind::kString:
+      AppendEscaped(out, std::get<std::string>(value_));
+      return;
+    case Kind::kArray: {
+      const auto& arr = std::get<Array>(value_);
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& item : arr) {
+        if (!first) out += ',';
+        first = false;
+        AppendIndent(out, indent, depth + 1);
+        item.DumpTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      const auto& obj = std::get<Object>(value_);
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : obj) {
+        if (!first) out += ',';
+        first = false;
+        AppendIndent(out, indent, depth + 1);
+        AppendEscaped(out, key);
+        out += ':';
+        if (indent > 0) out += ' ';
+        val.DumpTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    SkipWhitespace();
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string msg) const {
+    return InvalidArgumentError("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + std::move(msg));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (ConsumeLiteral("null")) return Json(nullptr);
+        return Error("invalid literal");
+      case 't':
+        if (ConsumeLiteral("true")) return Json(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Json(false);
+        return Error("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray();
+      case '{':
+        return ParseObject();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Error("invalid number");
+
+    if (!is_double) {
+      std::int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return Json(value);
+      }
+      // Fall through to double for out-of-range integers.
+    }
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      return Error("invalid number");
+    }
+    return Json(value);
+  }
+
+  // Encodes a Unicode code point as UTF-8.
+  static void AppendCodePoint(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Status(StatusCode::kInvalidArgument, "truncated \\u escape");
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Status(StatusCode::kInvalidArgument, "invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Result<Json> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          auto hi = ParseHex4();
+          if (!hi.ok()) return hi.status();
+          std::uint32_t cp = *hi;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!ConsumeLiteral("\\u")) return Error("unpaired surrogate");
+            auto lo = ParseHex4();
+            if (!lo.ok()) return lo.status();
+            if (*lo < 0xDC00 || *lo > 0xDFFF) return Error("invalid surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (*lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendCodePoint(out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    ++depth_;
+    Array arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      SkipWhitespace();
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      arr.push_back(std::move(*value));
+      SkipWhitespace();
+      if (Consume(']')) {
+        --depth_;
+        return Json(std::move(arr));
+      }
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    ++depth_;
+    Object obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) return key;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      SkipWhitespace();
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      obj.insert_or_assign(key->as_string(), std::move(*value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        --depth_;
+        return Json(std::move(obj));
+      }
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace convgpu::json

@@ -1,0 +1,98 @@
+// From-scratch JSON value, parser, and serializer.
+//
+// ConVGPU's components speak length-delimited JSON over UNIX domain sockets
+// (paper §III). This is a complete little JSON implementation: all seven
+// value kinds, escape handling including \uXXXX surrogate pairs, integer /
+// double distinction (allocation sizes must round-trip exactly), and
+// deterministic serialization (object keys sorted) so protocol tests can
+// compare bytes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace convgpu::json {
+
+class Json;
+
+using Array = std::vector<Json>;
+using Object = std::map<std::string, Json, std::less<>>;
+
+enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// Immutable-ish JSON value with value semantics.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}            // NOLINT
+  Json(bool b) : value_(b) {}                          // NOLINT
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}        // NOLINT
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}   // NOLINT
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}       // NOLINT
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Json(double v) : value_(v) {}                        // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}      // NOLINT
+  Json(std::string_view s) : value_(std::string(s)) {} // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}        // NOLINT
+  Json(Array a) : value_(std::move(a)) {}              // NOLINT
+  Json(Object o) : value_(std::move(o)) {}             // NOLINT
+
+  [[nodiscard]] Kind kind() const { return static_cast<Kind>(value_.index()); }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind() == Kind::kInt; }
+  [[nodiscard]] bool is_double() const { return kind() == Kind::kDouble; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind() == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind() == Kind::kObject; }
+
+  // Checked accessors: assert on kind mismatch (programming error).
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(value_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(value_); }
+
+  // Lenient lookups for protocol decoding.
+  /// Object member or nullptr when absent / not an object.
+  [[nodiscard]] const Json* Find(std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> GetInt(std::string_view key) const;
+  [[nodiscard]] std::optional<double> GetDouble(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> GetBool(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> GetString(std::string_view key) const;
+
+  /// Mutating object access; converts a null value into an object.
+  Json& operator[](std::string_view key);
+
+  friend bool operator==(const Json& a, const Json& b) = default;
+
+  /// Compact single-line serialization; `indent` > 0 pretty-prints.
+  [[nodiscard]] std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage is an error).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace convgpu::json

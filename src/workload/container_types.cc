@@ -1,0 +1,39 @@
+#include "workload/container_types.h"
+
+#include <cmath>
+
+namespace convgpu::workload {
+
+const std::array<ContainerType, 6>& ContainerTypes() {
+  using namespace convgpu::literals;
+  static const std::array<ContainerType, 6> types = {{
+      {"nano", 1, 512_MiB, 128_MiB},
+      {"micro", 1, 1_GiB, 256_MiB},
+      {"small", 1, 2_GiB, 512_MiB},
+      {"medium", 2, 4_GiB, 1024_MiB},
+      {"large", 2, 8_GiB, 2048_MiB},
+      {"xlarge", 4, 16_GiB, 4096_MiB},
+  }};
+  return types;
+}
+
+std::optional<ContainerType> FindContainerType(std::string_view name) {
+  for (const ContainerType& type : ContainerTypes()) {
+    if (type.name == name) return type;
+  }
+  return std::nullopt;
+}
+
+const ContainerType& RandomContainerType(Rng& rng) {
+  const auto& types = ContainerTypes();
+  return types[static_cast<std::size_t>(rng.UniformBelow(types.size()))];
+}
+
+Duration SampleProgramDuration(const ContainerType& type) {
+  // log2(128 MiB) = 27 → 5 s; log2(4096 MiB) = 32 → 45 s: 8 s per doubling.
+  const double log2_size = std::log2(static_cast<double>(type.gpu_memory));
+  const double seconds = 5.0 + (log2_size - 27.0) * 8.0;
+  return Seconds(seconds);
+}
+
+}  // namespace convgpu::workload

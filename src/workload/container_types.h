@@ -1,0 +1,37 @@
+// Evaluation container types (paper Table III) — modeled on AWS T2
+// instances, with the GPU memory sizes the paper assigns to each.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace convgpu::workload {
+
+struct ContainerType {
+  std::string_view name;
+  int vcpus;
+  Bytes host_memory;
+  Bytes gpu_memory;
+};
+
+/// Table III: nano, micro, small, medium, large, xlarge.
+const std::array<ContainerType, 6>& ContainerTypes();
+
+/// Lookup by name; nullopt for unknown names.
+std::optional<ContainerType> FindContainerType(std::string_view name);
+
+/// Uniform random type — the paper "emulated the cloud usage by choosing
+/// the type of the containers randomly".
+const ContainerType& RandomContainerType(Rng& rng);
+
+/// The sample program's run time for a type: "varies by the size, from
+/// 5 seconds to 45 seconds". Sizes are the six powers of two, so duration
+/// interpolates linearly in log2(gpu_memory): nano → 5 s ... xlarge → 45 s.
+Duration SampleProgramDuration(const ContainerType& type);
+
+}  // namespace convgpu::workload

@@ -1,0 +1,94 @@
+// Discrete-event cloud simulation (paper §IV-A/C).
+//
+// Reproduces the multi-container experiment: container types drawn
+// uniformly from Table III, one container submitted every 5 seconds, each
+// running the sample program (single full-size allocation, 5–45 s compute,
+// free, exit) against one shared 5 GB GPU managed by ConVGPU.
+//
+// The harness drives the REAL SchedulerCore — the same object behind the
+// socket daemon — plus the container engine, the nvidia-docker front-end,
+// and the exit-detection plugin, all on a virtual clock. Everything is
+// deterministic in (seed, policy), so Table IV/V regenerate in milliseconds
+// instead of the paper's wall-clock hours.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "convgpu/multigpu.h"
+#include "convgpu/scheduler_core.h"
+#include "json/json.h"
+#include "workload/container_types.h"
+
+namespace convgpu::workload {
+
+struct CloudSimConfig {
+  int num_containers = 4;
+  Duration spawn_interval = Seconds(5);
+  std::uint64_t seed = 1;
+  std::string policy = "FIFO";
+  Bytes gpu_capacity = 5 * kGiB;
+  Bytes first_alloc_overhead = 66 * kMiB;
+};
+
+struct SimContainerOutcome {
+  std::string id;
+  std::string type_name;
+  Bytes gpu_memory = 0;
+  TimePoint submitted = kTimeZero;   // nvidia-docker run issued
+  TimePoint compute_started = kTimeZero;  // allocation finally granted
+  TimePoint finished = kTimeZero;    // container exited
+  Duration suspended = Duration::zero();
+  bool failed = false;
+  std::string failure;
+};
+
+struct CloudSimResult {
+  /// Paper Fig. 7 / Table IV: "finished time of all containers" — from the
+  /// first submission to the last container exit.
+  Duration finished_time = Duration::zero();
+  /// Paper Fig. 8 / Table V: mean of per-container suspended time.
+  Duration avg_suspended_time = Duration::zero();
+  Duration max_suspended_time = Duration::zero();
+  /// Tail of the suspended-time distribution (95th percentile) — the
+  /// metric on which Best-Fit's starvation tendency shows up.
+  Duration p95_suspended_time = Duration::zero();
+  std::vector<SimContainerOutcome> containers;
+  std::uint64_t total_suspend_episodes = 0;
+};
+
+/// Runs one complete simulation. Deterministic in `config`.
+Result<CloudSimResult> RunCloudSimulation(const CloudSimConfig& config);
+
+/// Convenience: averages `repetitions` runs with seeds seed, seed+1, ...
+/// (the paper repeats every configuration 6 times and averages).
+Result<CloudSimResult> RunCloudSimulationAveraged(CloudSimConfig config,
+                                                  int repetitions);
+
+/// Multi-GPU variant of the cloud simulation (the paper's §V future work):
+/// the same Table III workload over `num_gpus` devices behind a
+/// MultiGpuScheduler placement stage.
+struct MultiGpuSimConfig {
+  int num_containers = 16;
+  int num_gpus = 2;
+  Bytes gpu_capacity = 5 * kGiB;
+  Duration spawn_interval = Seconds(5);
+  std::uint64_t seed = 1;
+  std::string policy = "FIFO";          // per-device scheduling
+  PlacementPolicy placement = PlacementPolicy::kMostFree;
+  Bytes first_alloc_overhead = 66 * kMiB;
+};
+
+Result<CloudSimResult> RunMultiGpuSimulation(const MultiGpuSimConfig& config);
+
+/// CSV export (one row per container plus a header) for external plotting
+/// of Figures 7/8-style data.
+std::string ResultToCsv(const CloudSimResult& result);
+
+/// Full JSON document: aggregates + per-container outcomes.
+json::Json ResultToJson(const CloudSimResult& result);
+
+}  // namespace convgpu::workload

@@ -1,0 +1,188 @@
+#include "workload/mnist_model.h"
+
+#include <array>
+#include <vector>
+
+namespace convgpu::workload {
+
+using cudasim::CudaError;
+
+namespace {
+
+/// One layer of the tutorial CNN, with the numbers needed for both the
+/// memory footprint and the FLOP-derived kernel durations.
+struct Layer {
+  const char* name;
+  double forward_flops_per_sample;
+  Bytes weight_bytes;
+  Bytes activation_bytes_per_sample;
+};
+
+// Shapes from the TensorFlow Layers tutorial:
+//   input 28×28×1
+//   conv1: 5×5×1×32, same padding  → 28×28×32
+//   pool1: 2×2                      → 14×14×32
+//   conv2: 5×5×32×64                → 14×14×64
+//   pool2: 2×2                      → 7×7×64
+//   dense: 3136×1024
+//   logits: 1024×10
+const std::array<Layer, 6>& Layers() {
+  static const std::array<Layer, 6> layers = {{
+      // conv flops = 2 * out_h*out_w*out_c * k*k*in_c
+      {"conv1", 2.0 * 28 * 28 * 32 * 5 * 5 * 1, (5 * 5 * 1 * 32 + 32) * 4,
+       28 * 28 * 32 * 4},
+      {"pool1", 28.0 * 28 * 32, 0, 14 * 14 * 32 * 4},
+      {"conv2", 2.0 * 14 * 14 * 64 * 5 * 5 * 32, (5 * 5 * 32 * 64 + 64) * 4,
+       14 * 14 * 64 * 4},
+      {"pool2", 14.0 * 14 * 64, 0, 7 * 7 * 64 * 4},
+      {"dense", 2.0 * 3136 * 1024, (3136 * 1024 + 1024) * 4, 1024 * 4},
+      {"logits", 2.0 * 1024 * 10, (1024 * 10 + 10) * 4, 10 * 4},
+  }};
+  return layers;
+}
+
+constexpr Bytes kWorkspaceBytes = 64 * kMiB;  // cuDNN-style scratch
+
+Duration KernelDuration(const cudasim::DeviceProp& device, double flops) {
+  const double peak = static_cast<double>(device.multi_processor_count) *
+                      static_cast<double>(device.cuda_cores_per_mp) *
+                      static_cast<double>(device.clock_rate_khz) * 1e3 * 2.0;
+  if (peak <= 0) return Duration::zero();
+  const double efficiency = 0.25;  // framework kernels rarely near peak
+  return Seconds(flops / (peak * efficiency));
+}
+
+}  // namespace
+
+Bytes MnistDeviceFootprint(const MnistConfig& config) {
+  Bytes total = kWorkspaceBytes;
+  for (const Layer& layer : Layers()) {
+    // Weights + gradients + Adam-style moments: 3× weight storage.
+    total += 3 * layer.weight_bytes;
+    total += layer.activation_bytes_per_sample * config.batch_size;
+  }
+  // Input batch buffer.
+  total += static_cast<Bytes>(config.batch_size) * 28 * 28 * 4;
+  return total;
+}
+
+MnistReport RunMnistTraining(cudasim::CudaApi& api, const MnistConfig& config) {
+  MnistReport report;
+  api.RegisterFatBinary();
+
+  auto fail = [&](CudaError error) {
+    report.result = error;
+    api.UnregisterFatBinary();
+    return report;
+  };
+
+  // ---- Setup: framework allocations -------------------------------------
+  std::vector<cudasim::DevicePtr> buffers;
+  auto alloc = [&](Bytes size) -> CudaError {
+    cudasim::DevicePtr p = cudasim::kNullDevicePtr;
+    const CudaError e = api.Malloc(&p, static_cast<std::size_t>(size));
+    if (e == CudaError::kSuccess) {
+      buffers.push_back(p);
+      ++report.alloc_calls;
+      report.peak_device_bytes += size;
+    }
+    return e;
+  };
+
+  std::vector<cudasim::DevicePtr> weight_buffers(Layers().size(),
+                                                 cudasim::kNullDevicePtr);
+  for (std::size_t i = 0; i < Layers().size(); ++i) {
+    const Layer& layer = Layers()[i];
+    if (layer.weight_bytes > 0) {
+      if (auto e = alloc(3 * layer.weight_bytes); e != CudaError::kSuccess) {
+        return fail(e);
+      }
+      weight_buffers[i] = buffers.back();
+    }
+    if (auto e = alloc(layer.activation_bytes_per_sample * config.batch_size);
+        e != CudaError::kSuccess) {
+      return fail(e);
+    }
+  }
+  const Bytes input_bytes = static_cast<Bytes>(config.batch_size) * 28 * 28 * 4;
+  if (auto e = alloc(input_bytes); e != CudaError::kSuccess) return fail(e);
+  const cudasim::DevicePtr input = buffers.back();
+  if (auto e = alloc(kWorkspaceBytes); e != CudaError::kSuccess) return fail(e);
+
+  // Upload initial weights.
+  for (std::size_t i = 0; i < Layers().size(); ++i) {
+    const Layer& layer = Layers()[i];
+    if (layer.weight_bytes == 0) continue;
+    if (auto e = api.MemcpyHostToDevice(
+            weight_buffers[i], nullptr,
+            static_cast<std::size_t>(layer.weight_bytes));
+        e != CudaError::kSuccess) {
+      return fail(e);
+    }
+    ++report.memcpy_calls;
+  }
+
+  // ---- Training loop ------------------------------------------------------
+  std::vector<unsigned char> loss_host(4);
+  for (int step = 0; step < config.train_steps; ++step) {
+    // Feed the batch.
+    if (auto e = api.MemcpyHostToDevice(input, nullptr,
+                                        static_cast<std::size_t>(input_bytes));
+        e != CudaError::kSuccess) {
+      return fail(e);
+    }
+    ++report.memcpy_calls;
+
+    // Forward + backward: backward ≈ 2× forward FLOPs.
+    std::size_t buffer_index = 0;
+    for (const Layer& layer : Layers()) {
+      const double flops =
+          layer.forward_flops_per_sample * config.batch_size;
+      for (double factor : {1.0, 2.0}) {
+        cudasim::KernelLaunch launch;
+        launch.name = layer.name;
+        launch.block = {256, 1, 1};
+        launch.grid = {64, 1, 1};
+        launch.duration = KernelDuration(config.device, flops * factor);
+        if (auto e = api.LaunchKernel(launch); e != CudaError::kSuccess) {
+          return fail(e);
+        }
+        ++report.kernel_launches;
+        report.modeled_gpu_time += launch.duration;
+      }
+      buffer_index = (buffer_index + 1) % buffers.size();
+    }
+
+    // Optimizer update: one bandwidth-bound kernel over all weights.
+    {
+      cudasim::KernelLaunch launch;
+      launch.name = "adam_update";
+      launch.block = {256, 1, 1};
+      launch.grid = {64, 1, 1};
+      launch.duration = KernelDuration(config.device, 1.0e7);
+      if (auto e = api.LaunchKernel(launch); e != CudaError::kSuccess) {
+        return fail(e);
+      }
+      ++report.kernel_launches;
+      report.modeled_gpu_time += launch.duration;
+    }
+
+    // Loss readback.
+    if (auto e = api.MemcpyDeviceToHost(loss_host.data(), buffers.back(),
+                                        loss_host.size());
+        e != CudaError::kSuccess) {
+      return fail(e);
+    }
+    ++report.memcpy_calls;
+  }
+
+  (void)api.DeviceSynchronize();
+
+  for (auto it = buffers.rbegin(); it != buffers.rend(); ++it) {
+    (void)api.Free(*it);
+  }
+  api.UnregisterFatBinary();
+  return report;
+}
+
+}  // namespace convgpu::workload

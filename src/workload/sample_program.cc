@@ -1,0 +1,115 @@
+#include "workload/sample_program.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "cudasim/builtin_kernels.h"
+
+namespace convgpu::workload {
+
+using cudasim::CudaError;
+
+SampleProgramReport RunSampleProgram(cudasim::CudaApi& api,
+                                     const SampleProgramConfig& config,
+                                     const containersim::ContainerContext* ctx) {
+  SampleProgramReport report;
+  api.RegisterFatBinary();
+
+  // 1. Allocate the container's maximum GPU memory (single block, like the
+  //    paper's sample) — this is the call that may suspend under ConVGPU.
+  cudasim::DevicePtr data = cudasim::kNullDevicePtr;
+  report.result = api.Malloc(&data, static_cast<std::size_t>(config.gpu_memory));
+  if (report.result != CudaError::kSuccess) {
+    api.UnregisterFatBinary();
+    return report;
+  }
+  report.allocated = config.gpu_memory;
+
+  // 2. Copy dummy data host → device. The staging buffer carries a known
+  //    pattern so materialized devices can verify the complement.
+  const auto staging =
+      static_cast<std::size_t>(std::min(config.staging_bytes, config.gpu_memory));
+  std::vector<unsigned char> host(staging);
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    host[i] = static_cast<unsigned char>(i * 131 + 7);
+  }
+  report.result = api.MemcpyHostToDevice(data, host.data(), staging);
+  if (report.result == CudaError::kSuccess &&
+      config.gpu_memory > config.staging_bytes) {
+    // Charge the transfer time of the remaining bytes without staging them.
+    report.result = api.MemcpyHostToDevice(
+        data, nullptr, static_cast<std::size_t>(config.gpu_memory) - staging);
+  }
+
+  // 3. "Calculate the complement": one kernel pass over the data. On a
+  //    materialized device the built-in kernel body really flips the bits.
+  if (report.result == CudaError::kSuccess) {
+    cudasim::KernelLaunch launch;
+    if (config.materialized_device != nullptr) {
+      auto built = cudasim::ComplementKernel(*config.materialized_device, data,
+                                             static_cast<Bytes>(staging));
+      if (built.ok()) launch = *built;
+    } else {
+      launch.name = "complement_u8";
+      launch.block = {256, 1, 1};
+      launch.grid = {1024, 1, 1};
+    }
+    launch.duration = config.compute_duration;
+    report.result = api.LaunchKernel(launch);
+  }
+
+  // Live compute phase (scaled): the paper's program occupies the GPU for
+  // 5–45 s; tests set time_scale = 0 and rely on the virtual duration.
+  if (config.time_scale > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(ToSeconds(config.compute_duration) *
+                                          config.time_scale));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (ctx != nullptr && ctx->StopRequested()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  (void)api.DeviceSynchronize();
+
+  // 4. Return the result device → host and verify when possible.
+  if (report.result == CudaError::kSuccess) {
+    std::vector<unsigned char> back(staging);
+    const CudaError copy = api.MemcpyDeviceToHost(back.data(), data, staging);
+    if (copy == CudaError::kSuccess) {
+      bool verified = true;
+      bool any_nonzero = false;
+      for (std::size_t i = 0; i < back.size(); ++i) {
+        if (back[i] != 0) any_nonzero = true;
+        if (back[i] != static_cast<unsigned char>(~host[i])) verified = false;
+      }
+      // Non-materialized devices return zeros; only claim verification when
+      // real bytes moved.
+      report.data_verified = verified && any_nonzero;
+    }
+  }
+
+  (void)api.Free(data);
+  api.UnregisterFatBinary();
+  return report;
+}
+
+containersim::Entrypoint MakeSampleEntrypoint(
+    std::function<std::unique_ptr<cudasim::CudaApi>(
+        const containersim::ContainerContext&)>
+        api_factory,
+    SampleProgramConfig config) {
+  return [api_factory = std::move(api_factory),
+          config](containersim::ContainerContext& ctx) -> int {
+    auto api = api_factory(ctx);
+    if (api == nullptr) return 125;
+    const SampleProgramReport report = RunSampleProgram(*api, config, &ctx);
+    return report.result == CudaError::kSuccess ? 0 : 1;
+  };
+}
+
+}  // namespace convgpu::workload

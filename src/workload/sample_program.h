@@ -1,0 +1,62 @@
+// The paper's evaluation sample program (§IV-A): "allocates maximum GPU
+// memory and the same size of CPU memory. This sample program copies dummy
+// data from CPU memory to GPU, calculates the complement, and returns the
+// result from GPU memory to CPU."
+//
+// Two uses:
+//  * as a container Entrypoint against any CudaApi (live threaded runs,
+//    with real time optionally scaled down);
+//  * as the canonical call shape the DES reproduces on virtual time.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "containersim/container.h"
+#include "cudasim/cuda_api.h"
+#include "cudasim/gpu_device.h"
+
+namespace convgpu::workload {
+
+struct SampleProgramConfig {
+  Bytes gpu_memory = 128 * kMiB;
+  /// The paper's 5–45 s compute phase (see SampleProgramDuration).
+  Duration compute_duration = Seconds(5);
+  /// Fraction of compute_duration actually slept in live runs; 0 disables
+  /// sleeping entirely (tests), 1.0 reproduces paper-scale runs.
+  double time_scale = 0.0;
+  /// Host buffer actually moved through Memcpy (the full gpu_memory is
+  /// charged either way; materialized devices verify these bytes).
+  Bytes staging_bytes = 4 * kKiB;
+  /// When the workload runs against a materialized device, point here so
+  /// the complement really executes on the backing bytes and the report's
+  /// data_verified flag is meaningful.
+  cudasim::GpuDevice* materialized_device = nullptr;
+};
+
+struct SampleProgramReport {
+  cudasim::CudaError result = cudasim::CudaError::kSuccess;
+  Bytes allocated = 0;
+  bool data_verified = false;  // true when a materialized device round-
+                               // tripped the complement correctly
+};
+
+/// Runs the sample program to completion. If `ctx` is given, the program
+/// polls the cooperative stop flag during its compute phase.
+SampleProgramReport RunSampleProgram(cudasim::CudaApi& api,
+                                     const SampleProgramConfig& config,
+                                     const containersim::ContainerContext* ctx
+                                     = nullptr);
+
+/// Adapts the sample program into a containersim Entrypoint. The CudaApi is
+/// built per-container by `api_factory` when the container starts (it
+/// receives the container context, i.e. env + pid).
+containersim::Entrypoint MakeSampleEntrypoint(
+    std::function<std::unique_ptr<cudasim::CudaApi>(
+        const containersim::ContainerContext&)>
+        api_factory,
+    SampleProgramConfig config);
+
+}  // namespace convgpu::workload

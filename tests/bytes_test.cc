@@ -1,0 +1,92 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+
+TEST(BytesTest, LiteralsProduceExactValues) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(5_GiB, 5LL * 1024 * 1024 * 1024);
+}
+
+TEST(BytesTest, AlignUpRoundsToMultiples) {
+  EXPECT_EQ(AlignUp(0, 256), 0);
+  EXPECT_EQ(AlignUp(1, 256), 256);
+  EXPECT_EQ(AlignUp(256, 256), 256);
+  EXPECT_EQ(AlignUp(257, 256), 512);
+  EXPECT_EQ(AlignUp(100, 1), 100);
+}
+
+TEST(ParseByteSizeTest, PlainNumbersAreBytes) {
+  EXPECT_EQ(ParseByteSize("0"), 0);
+  EXPECT_EQ(ParseByteSize("123"), 123);
+  EXPECT_EQ(ParseByteSize("1073741824"), 1_GiB);
+}
+
+TEST(ParseByteSizeTest, BinarySuffixes) {
+  EXPECT_EQ(ParseByteSize("128MiB"), 128_MiB);
+  EXPECT_EQ(ParseByteSize("2GiB"), 2_GiB);
+  EXPECT_EQ(ParseByteSize("16KiB"), 16_KiB);
+}
+
+TEST(ParseByteSizeTest, ShortAndDecimalSuffixesAreBinary) {
+  EXPECT_EQ(ParseByteSize("1g"), 1_GiB);
+  EXPECT_EQ(ParseByteSize("512m"), 512_MiB);
+  EXPECT_EQ(ParseByteSize("512 MB"), 512_MiB);
+  EXPECT_EQ(ParseByteSize("4k"), 4_KiB);
+}
+
+TEST(ParseByteSizeTest, CaseInsensitive) {
+  EXPECT_EQ(ParseByteSize("128mib"), 128_MiB);
+  EXPECT_EQ(ParseByteSize("128MIB"), 128_MiB);
+  EXPECT_EQ(ParseByteSize("1GB"), 1_GiB);
+}
+
+TEST(ParseByteSizeTest, FractionalValues) {
+  EXPECT_EQ(ParseByteSize("1.5GiB"), 1_GiB + 512_MiB);
+  EXPECT_EQ(ParseByteSize("0.5k"), 512);
+}
+
+TEST(ParseByteSizeTest, WhitespaceTolerated) {
+  EXPECT_EQ(ParseByteSize("  256MiB  "), 256_MiB);
+}
+
+TEST(ParseByteSizeTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseByteSize("").has_value());
+  EXPECT_FALSE(ParseByteSize("abc").has_value());
+  EXPECT_FALSE(ParseByteSize("12XB").has_value());
+  EXPECT_FALSE(ParseByteSize("-5MiB").has_value());
+  EXPECT_FALSE(ParseByteSize("1.2.3G").has_value());
+  EXPECT_FALSE(ParseByteSize("MiB").has_value());
+}
+
+TEST(ParseByteSizeTest, OverflowRejected) {
+  EXPECT_FALSE(ParseByteSize("99999999999999999999").has_value());
+  EXPECT_FALSE(ParseByteSize("9999999999999999G").has_value());
+}
+
+TEST(FormatByteSizeTest, ExactSuffixes) {
+  EXPECT_EQ(FormatByteSize(0), "0B");
+  EXPECT_EQ(FormatByteSize(17), "17B");
+  EXPECT_EQ(FormatByteSize(1_KiB), "1KiB");
+  EXPECT_EQ(FormatByteSize(512_MiB), "512MiB");
+  EXPECT_EQ(FormatByteSize(5_GiB), "5GiB");
+}
+
+TEST(FormatByteSizeTest, FractionalAndNegative) {
+  EXPECT_EQ(FormatByteSize(1_GiB + 512_MiB), "1.50GiB");
+  EXPECT_EQ(FormatByteSize(-512_MiB), "-512MiB");
+}
+
+TEST(FormatByteSizeTest, RoundTripsThroughParse) {
+  for (Bytes value : {Bytes{1}, 1_KiB, 3_MiB, 128_MiB, 1_GiB, 4096_MiB}) {
+    EXPECT_EQ(ParseByteSize(FormatByteSize(value)), value) << value;
+  }
+}
+
+}  // namespace
+}  // namespace convgpu

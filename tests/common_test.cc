@@ -1,0 +1,192 @@
+// Tests for Result/Status, logging, RNG, ids, and the clocks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/log.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace convgpu {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = ResourceExhaustedError("out of GPU memory");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.ToString(), "RESOURCE_EXHAUSTED: out of GPU memory");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err(NotFoundError("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(LogTest, SinkReceivesGatedMessages) {
+  std::vector<std::string> lines;
+  auto previous = SetLogSink([&](LogLevel, std::string_view tag,
+                                 std::string_view msg) {
+    lines.push_back(std::string(tag) + ":" + std::string(msg));
+  });
+  const LogLevel previous_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  CONVGPU_LOG(kInfo, "t") << "hello " << 42;
+  CONVGPU_LOG(kDebug, "t") << "filtered";
+
+  SetLogLevel(previous_level);
+  SetLogSink(std::move(previous));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "t:hello 42");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 6ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(IdsTest, ContainerIdsAreStableAndDistinct) {
+  EXPECT_EQ(MakeContainerId(1, 7), MakeContainerId(1, 7));
+  EXPECT_NE(MakeContainerId(1, 7), MakeContainerId(2, 7));
+  EXPECT_NE(MakeContainerId(1, 7), MakeContainerId(1, 8));
+  EXPECT_EQ(MakeContainerId(1, 7).size(), 12u);
+}
+
+TEST(RealClockTest, MonotonicallyNonDecreasing) {
+  RealClock& clock = RealClock::Instance();
+  const TimePoint a = clock.Now();
+  const TimePoint b = clock.Now();
+  EXPECT_LE(a.count(), b.count());
+}
+
+TEST(SimClockTest, EventsRunInDeadlineOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
+  clock.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  clock.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  clock.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), Seconds(3));
+}
+
+TEST(SimClockTest, TiesBreakFifo) {
+  SimClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    clock.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  clock.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimClockTest, EventsMayScheduleMoreEvents) {
+  SimClock clock;
+  int fired = 0;
+  clock.ScheduleAt(Seconds(1), [&] {
+    ++fired;
+    clock.ScheduleAfter(Seconds(1), [&] { ++fired; });
+  });
+  clock.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(clock.Now(), Seconds(2));
+}
+
+TEST(SimClockTest, CancelRemovesPendingEvent) {
+  SimClock clock;
+  bool ran = false;
+  const auto id = clock.ScheduleAt(Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(clock.Cancel(id));
+  EXPECT_FALSE(clock.Cancel(id));  // already gone
+  clock.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimClockTest, RunUntilStopsAtBoundaryAndAdvancesNow) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  clock.ScheduleAt(Seconds(5), [&] { order.push_back(5); });
+  clock.RunUntil(Seconds(3));
+  EXPECT_EQ(order, std::vector<int>{1});
+  EXPECT_EQ(clock.Now(), Seconds(3));
+  EXPECT_EQ(clock.pending_events(), 1u);
+}
+
+TEST(SimClockTest, PastDeadlinesClampToNow) {
+  SimClock clock;
+  clock.ScheduleAt(Seconds(2), [] {});
+  clock.RunUntilIdle();
+  bool ran = false;
+  clock.ScheduleAt(Seconds(1), [&] { ran = true; });  // in the past
+  clock.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.Now(), Seconds(2));
+}
+
+}  // namespace
+}  // namespace convgpu

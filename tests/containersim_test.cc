@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "containersim/engine.h"
+
+namespace convgpu::containersim {
+namespace {
+
+using namespace convgpu::literals;
+
+Image PlainImage(std::string name) {
+  Image image;
+  image.name = std::move(name);
+  return image;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    engine_.images().Put(PlainImage("busybox"));
+    engine_.images().Put(ImageRegistry::CudaImage("cuda-app", "8.0", "512MiB"));
+  }
+
+  Engine engine_;
+};
+
+TEST(ImageTest, LabelsAndGpuDetection) {
+  const Image plain = PlainImage("busybox");
+  EXPECT_FALSE(plain.NeedsGpu());
+  EXPECT_EQ(plain.Label("x"), std::nullopt);
+
+  const Image cuda = ImageRegistry::CudaImage("cuda-app", "8.0", "512MiB");
+  EXPECT_TRUE(cuda.NeedsGpu());
+  EXPECT_EQ(cuda.Label(kLabelCudaVersion), "8.0");
+  EXPECT_EQ(cuda.Label(kLabelMemoryLimit), "512MiB");
+}
+
+TEST(ImageRegistryTest, PutFindContains) {
+  ImageRegistry registry;
+  EXPECT_FALSE(registry.Contains("a"));
+  EXPECT_EQ(registry.Find("a").status().code(), StatusCode::kNotFound);
+  registry.Put(PlainImage("a"));
+  EXPECT_TRUE(registry.Contains("a"));
+  EXPECT_EQ(registry.Find("a")->name, "a");
+}
+
+TEST_F(EngineTest, CreateRequiresKnownImage) {
+  ContainerSpec spec;
+  spec.image = "missing";
+  EXPECT_EQ(engine_.Create(spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, LifecycleThroughThreadedEntrypoint) {
+  std::atomic<bool> ran{false};
+  ContainerSpec spec;
+  spec.image = "busybox";
+  spec.entrypoint = [&](ContainerContext& ctx) {
+    ran = true;
+    EXPECT_FALSE(ctx.container_id().empty());
+    EXPECT_GT(ctx.pid(), 0);
+    return 7;
+  };
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine_.Inspect(*id)->state, ContainerState::kCreated);
+
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  auto code = engine_.Wait(*id);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, 7);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(engine_.Inspect(*id)->state, ContainerState::kExited);
+
+  ASSERT_TRUE(engine_.Remove(*id).ok());
+  EXPECT_FALSE(engine_.Inspect(*id).ok());
+}
+
+TEST_F(EngineTest, EnvMergesImageDefaultsAndSpec) {
+  Image image = PlainImage("with-env");
+  image.default_env["A"] = "from-image";
+  image.default_env["B"] = "kept";
+  engine_.images().Put(image);
+
+  ContainerSpec spec;
+  spec.image = "with-env";
+  spec.env["A"] = "overridden";
+  spec.env["C"] = "added";
+  std::map<std::string, std::string> seen;
+  spec.entrypoint = [&](ContainerContext& ctx) {
+    seen = ctx.env();
+    return 0;
+  };
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  ASSERT_TRUE(engine_.Wait(*id).ok());
+  EXPECT_EQ(seen["A"], "overridden");
+  EXPECT_EQ(seen["B"], "kept");
+  EXPECT_EQ(seen["C"], "added");
+}
+
+TEST_F(EngineTest, DoubleStartRejected) {
+  ContainerSpec spec;
+  spec.image = "busybox";
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  EXPECT_EQ(engine_.Start(*id).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, RemoveRunningContainerRejected) {
+  ContainerSpec spec;
+  spec.image = "busybox";  // no entrypoint: external mode, stays running
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  EXPECT_EQ(engine_.Remove(*id).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine_.MarkExited(*id, 0).ok());
+  EXPECT_TRUE(engine_.Remove(*id).ok());
+}
+
+TEST_F(EngineTest, StopSetsCooperativeFlag) {
+  std::atomic<bool> observed_stop{false};
+  ContainerSpec spec;
+  spec.image = "busybox";
+  spec.entrypoint = [&](ContainerContext& ctx) {
+    while (!ctx.StopRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    observed_stop = true;
+    return 0;
+  };
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  ASSERT_TRUE(engine_.Stop(*id).ok());
+  EXPECT_TRUE(observed_stop);
+  EXPECT_EQ(engine_.Inspect(*id)->state, ContainerState::kExited);
+}
+
+TEST_F(EngineTest, EventsFireInOrder) {
+  std::mutex mutex;
+  std::vector<EventType> events;
+  engine_.Subscribe([&](const ContainerEvent& event) {
+    std::lock_guard lock(mutex);
+    events.push_back(event.type);
+  });
+  ContainerSpec spec;
+  spec.image = "busybox";
+  spec.entrypoint = [](ContainerContext&) { return 0; };
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  ASSERT_TRUE(engine_.Wait(*id).ok());
+  ASSERT_TRUE(engine_.Remove(*id).ok());
+
+  std::lock_guard lock(mutex);
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[0], EventType::kCreate);
+  EXPECT_EQ(events[1], EventType::kStart);
+  // kDie arrives when the entrypoint returns; destroy is last.
+  EXPECT_EQ(events.back(), EventType::kDestroy);
+}
+
+class RecordingPlugin : public VolumePlugin {
+ public:
+  Result<std::string> Mount(const std::string& volume,
+                            const std::string& container) override {
+    mounts.emplace_back(volume, container);
+    return "/host/" + volume;
+  }
+  void Unmount(const std::string& volume, const std::string& container) override {
+    unmounts.emplace_back(volume, container);
+  }
+
+  std::vector<std::pair<std::string, std::string>> mounts;
+  std::vector<std::pair<std::string, std::string>> unmounts;
+};
+
+TEST_F(EngineTest, PluginVolumesMountOnStartAndUnmountOnExit) {
+  RecordingPlugin plugin;
+  engine_.RegisterVolumePlugin("nvidia-docker", &plugin);
+
+  ContainerSpec spec;
+  spec.image = "cuda-app";
+  spec.mounts.push_back({"nvidia_driver", "/usr/local/nvidia", "nvidia-docker"});
+  std::optional<std::string> seen_source;
+  spec.entrypoint = [&](ContainerContext& ctx) {
+    seen_source = ctx.MountSource("/usr/local/nvidia");
+    return 0;
+  };
+  auto id = engine_.Create(spec);
+  ASSERT_TRUE(engine_.Start(*id).ok());
+  ASSERT_TRUE(engine_.Wait(*id).ok());
+
+  ASSERT_EQ(plugin.mounts.size(), 1u);
+  EXPECT_EQ(plugin.mounts[0].first, "nvidia_driver");
+  EXPECT_EQ(seen_source, "/host/nvidia_driver");
+  ASSERT_EQ(plugin.unmounts.size(), 1u);
+  EXPECT_EQ(plugin.unmounts[0].first, "nvidia_driver");
+}
+
+TEST_F(EngineTest, UnknownVolumeDriverFailsStart) {
+  ContainerSpec spec;
+  spec.image = "busybox";
+  spec.mounts.push_back({"v", "/v", "no-such-driver"});
+  auto id = engine_.Create(spec);
+  EXPECT_EQ(engine_.Start(*id).code(), StatusCode::kNotFound);
+}
+
+TEST(CgroupTest, MemoryChargingAgainstLimit) {
+  CgroupController cgroups;
+  ASSERT_TRUE(cgroups.CreateGroup("c1", {2, 1_GiB}).ok());
+  EXPECT_TRUE(cgroups.ChargeMemory("c1", 512_MiB).ok());
+  EXPECT_TRUE(cgroups.ChargeMemory("c1", 512_MiB).ok());
+  EXPECT_EQ(cgroups.ChargeMemory("c1", 1).code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(cgroups.UnchargeMemory("c1", 512_MiB).ok());
+  EXPECT_TRUE(cgroups.ChargeMemory("c1", 256_MiB).ok());
+  EXPECT_EQ(cgroups.Usage("c1")->memory_used, 768_MiB);
+}
+
+TEST(CgroupTest, UnlimitedGroupsNeverExhaust) {
+  CgroupController cgroups;
+  ASSERT_TRUE(cgroups.CreateGroup("c1", {1, 0}).ok());
+  EXPECT_TRUE(cgroups.ChargeMemory("c1", 100_GiB).ok());
+}
+
+TEST(CgroupTest, DuplicateAndMissingGroups) {
+  CgroupController cgroups;
+  ASSERT_TRUE(cgroups.CreateGroup("c1", {1, 0}).ok());
+  EXPECT_EQ(cgroups.CreateGroup("c1", {1, 0}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(cgroups.ChargeMemory("nope", 1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(cgroups.RemoveGroup("c1").ok());
+  EXPECT_EQ(cgroups.RemoveGroup("c1").code(), StatusCode::kNotFound);
+}
+
+TEST(CgroupTest, VcpuAccounting) {
+  CgroupController cgroups;
+  ASSERT_TRUE(cgroups.CreateGroup("a", {2, 0}).ok());
+  ASSERT_TRUE(cgroups.CreateGroup("b", {4, 0}).ok());
+  EXPECT_EQ(cgroups.TotalVcpus(), 6);
+}
+
+TEST_F(EngineTest, ListAndRunningCount) {
+  ContainerSpec spec;
+  spec.image = "busybox";
+  auto a = engine_.Create(spec);
+  auto b = engine_.Create(spec);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(engine_.List().size(), 2u);
+  EXPECT_EQ(engine_.running_count(), 0u);
+  ASSERT_TRUE(engine_.Start(*a).ok());
+  EXPECT_EQ(engine_.running_count(), 1u);
+}
+
+}  // namespace
+}  // namespace convgpu::containersim

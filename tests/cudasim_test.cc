@@ -1,0 +1,334 @@
+// Tests for the kernel engine, GPU device, SimCudaApi, and built-in kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudasim/builtin_kernels.h"
+#include "cudasim/gpu_device.h"
+#include "cudasim/kernel_engine.h"
+#include "cudasim/sim_cuda_api.h"
+
+namespace convgpu::cudasim {
+namespace {
+
+using namespace convgpu::literals;
+
+// ---------------------------------------------------------------------------
+// KernelEngine
+// ---------------------------------------------------------------------------
+
+TEST(KernelEngineTest, SameStreamSerializes) {
+  KernelEngine engine(32);
+  const TimePoint end1 = engine.Launch(1, Seconds(0), Seconds(2));
+  const TimePoint end2 = engine.Launch(1, Seconds(0), Seconds(3));
+  EXPECT_EQ(end1, Seconds(2));
+  EXPECT_EQ(end2, Seconds(5));  // waits for the first
+}
+
+TEST(KernelEngineTest, DifferentStreamsOverlap) {
+  KernelEngine engine(32);
+  const TimePoint end1 = engine.Launch(1, Seconds(0), Seconds(2));
+  const TimePoint end2 = engine.Launch(2, Seconds(0), Seconds(3));
+  EXPECT_EQ(end1, Seconds(2));
+  EXPECT_EQ(end2, Seconds(3));  // concurrent (Hyper-Q)
+}
+
+TEST(KernelEngineTest, HyperQLimitForcesWaiting) {
+  KernelEngine engine(2);
+  EXPECT_EQ(engine.Launch(1, Seconds(0), Seconds(5)), Seconds(5));
+  EXPECT_EQ(engine.Launch(2, Seconds(0), Seconds(3)), Seconds(3));
+  // Both slots busy at t=0: the third kernel waits for the earliest end.
+  EXPECT_EQ(engine.Launch(3, Seconds(0), Seconds(1)), Seconds(4));
+}
+
+TEST(KernelEngineTest, SlotsFreeOverTime) {
+  KernelEngine engine(2);
+  engine.Launch(1, Seconds(0), Seconds(1));
+  engine.Launch(2, Seconds(0), Seconds(1));
+  // At t=2 both kernels retired: no queueing.
+  EXPECT_EQ(engine.Launch(3, Seconds(2), Seconds(1)), Seconds(3));
+}
+
+TEST(KernelEngineTest, CompletionQueries) {
+  KernelEngine engine(32);
+  engine.Launch(1, Seconds(0), Seconds(2));
+  engine.Launch(2, Seconds(0), Seconds(7));
+  EXPECT_EQ(engine.StreamCompletion(1, Seconds(0)), Seconds(2));
+  EXPECT_EQ(engine.StreamCompletion(2, Seconds(0)), Seconds(7));
+  EXPECT_EQ(engine.StreamCompletion(99, Seconds(1)), Seconds(1));  // idle
+  EXPECT_EQ(engine.DeviceCompletion(Seconds(0)), Seconds(7));
+  EXPECT_EQ(engine.busy_time(), Seconds(9));
+  EXPECT_EQ(engine.kernels_launched(), 2u);
+}
+
+TEST(KernelEngineTest, ThirtyTwoWideHyperQMatchesK20m) {
+  KernelEngine engine(32);
+  // 32 concurrent kernels all finish together; the 33rd queues.
+  for (StreamId s = 1; s <= 32; ++s) {
+    EXPECT_EQ(engine.Launch(s, Seconds(0), Seconds(1)), Seconds(1));
+  }
+  EXPECT_EQ(engine.Launch(33, Seconds(0), Seconds(1)), Seconds(2));
+}
+
+// ---------------------------------------------------------------------------
+// GpuDevice
+// ---------------------------------------------------------------------------
+
+GpuDeviceOptions MaterializedOptions() {
+  GpuDeviceOptions options;
+  options.materialize_data = true;
+  return options;
+}
+
+DeviceProp SmallDevice(Bytes mem = 1_GiB) {
+  DeviceProp prop = TeslaK20m();
+  prop.total_global_mem = mem;
+  return prop;
+}
+
+TEST(GpuDeviceTest, FirstTouchChargesContextOverhead) {
+  GpuDevice device(0, SmallDevice());
+  ASSERT_TRUE(device.Malloc(1, 1_MiB).ok());
+  // 66 MiB context + 1 MiB allocation.
+  EXPECT_EQ(device.UsedBy(1), 66_MiB + 1_MiB);
+  EXPECT_EQ(device.MemGetInfo().free, 1_GiB - 67_MiB);
+  EXPECT_EQ(device.context_count(), 1u);
+}
+
+TEST(GpuDeviceTest, DistinctPidsGetDistinctContexts) {
+  GpuDevice device(0, SmallDevice());
+  ASSERT_TRUE(device.Malloc(1, 1_MiB).ok());
+  ASSERT_TRUE(device.Malloc(2, 1_MiB).ok());
+  EXPECT_EQ(device.context_count(), 2u);
+  EXPECT_EQ(device.MemGetInfo().free, 1_GiB - 2 * 67_MiB);
+}
+
+TEST(GpuDeviceTest, DestroyContextReleasesEverything) {
+  GpuDevice device(0, SmallDevice());
+  ASSERT_TRUE(device.Malloc(1, 10_MiB).ok());
+  ASSERT_TRUE(device.Malloc(1, 20_MiB).ok());
+  device.DestroyContext(1);
+  EXPECT_EQ(device.MemGetInfo().free, 1_GiB);
+  EXPECT_EQ(device.UsedBy(1), 0);
+  EXPECT_FALSE(device.HasContext(1));
+}
+
+TEST(GpuDeviceTest, CrossPidFreeRejected) {
+  GpuDevice device(0, SmallDevice());
+  auto p = device.Malloc(1, 1_MiB);
+  ASSERT_TRUE(p.ok());
+  // Pid 2 cannot free pid 1's allocation (process isolation).
+  ASSERT_TRUE(device.Malloc(2, 1_MiB).ok());  // give pid 2 a context
+  EXPECT_FALSE(device.Free(2, *p).ok());
+  EXPECT_TRUE(device.Free(1, *p).ok());
+}
+
+TEST(GpuDeviceTest, PitchRoundsRowsUp) {
+  GpuDevice device(0, SmallDevice());
+  auto result = device.MallocPitch(1, 1000, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->second, 1024u);  // 1000 -> 512-byte pitch alignment
+  // Charged size is pitch * height.
+  EXPECT_EQ(device.UsedBy(1), 66_MiB + 1024 * 10);
+}
+
+TEST(GpuDeviceTest, Malloc3DChargesPitchTimesHeightTimesDepth) {
+  GpuDevice device(0, SmallDevice());
+  Extent extent{100, 4, 3};
+  auto result = device.Malloc3D(1, extent);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pitch, 512u);
+  EXPECT_EQ(device.UsedBy(1), 66_MiB + 512 * 4 * 3);
+}
+
+TEST(GpuDeviceTest, ManagedRoundsTo128MiB) {
+  GpuDevice device(0, SmallDevice());
+  ASSERT_TRUE(device.MallocManaged(1, 1_MiB).ok());
+  EXPECT_EQ(device.UsedBy(1), 66_MiB + 128_MiB);
+  ASSERT_TRUE(device.MallocManaged(1, 129_MiB).ok());
+  EXPECT_EQ(device.UsedBy(1), 66_MiB + 128_MiB + 256_MiB);
+}
+
+TEST(GpuDeviceTest, OutOfMemoryIsResourceExhausted) {
+  GpuDevice device(0, SmallDevice(256_MiB));
+  auto result = device.Malloc(1, 512_MiB);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GpuDeviceTest, ContextCreationFailsWhenNoRoomForOverhead) {
+  GpuDevice device(0, SmallDevice(64_MiB));  // smaller than the 66 MiB charge
+  auto result = device.Malloc(1, 1_MiB);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(device.context_count(), 0u);
+}
+
+TEST(GpuDeviceTest, MemcpyValidatesRanges) {
+  GpuDevice device(0, SmallDevice());
+  auto p = device.Malloc(1, 1024);
+  ASSERT_TRUE(p.ok());
+  std::vector<char> host(2048);
+  EXPECT_TRUE(device.CopyToDevice(1, *p, host.data(), 1024).ok());
+  EXPECT_FALSE(device.CopyToDevice(1, *p, host.data(), 2048).ok());
+  EXPECT_FALSE(device.CopyToHost(1, host.data(), *p + 4096, 1).ok());
+}
+
+TEST(GpuDeviceTest, MaterializedDataRoundTrips) {
+  GpuDevice device(0, SmallDevice(256_MiB), MaterializedOptions());
+  auto p = device.Malloc(1, 1024);
+  ASSERT_TRUE(p.ok());
+  std::vector<unsigned char> out(16, 0xAB);
+  ASSERT_TRUE(device.CopyToDevice(1, *p + 8, out.data(), 16).ok());
+  std::vector<unsigned char> in(16, 0);
+  ASSERT_TRUE(device.CopyToHost(1, in.data(), *p + 8, 16).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(GpuDeviceTest, DeviceToDeviceCopiesBytes) {
+  GpuDevice device(0, SmallDevice(256_MiB), MaterializedOptions());
+  auto a = device.Malloc(1, 64);
+  auto b = device.Malloc(1, 64);
+  ASSERT_TRUE(b.ok());
+  std::vector<unsigned char> data(64, 0x5A);
+  ASSERT_TRUE(device.CopyToDevice(1, *a, data.data(), 64).ok());
+  ASSERT_TRUE(device.CopyDeviceToDevice(1, *b, *a, 64).ok());
+  std::vector<unsigned char> out(64, 0);
+  ASSERT_TRUE(device.CopyToHost(1, out.data(), *b, 64).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(GpuDeviceTest, TransferTimeScalesWithSizeAndBus) {
+  GpuDevice device(0, TeslaK20m());
+  const Duration h2d = device.TransferTime(MemcpyKind::kHostToDevice, 1_GiB);
+  const Duration d2d = device.TransferTime(MemcpyKind::kDeviceToDevice, 1_GiB);
+  EXPECT_GT(h2d, Duration::zero());
+  EXPECT_LT(d2d, h2d);  // GDDR5 is faster than PCIe
+  EXPECT_NEAR(ToSeconds(device.TransferTime(MemcpyKind::kHostToDevice, 2_GiB)),
+              ToSeconds(h2d) * 2, 1e-6);
+}
+
+TEST(GpuDeviceTest, StreamsArePerPidAndValidated) {
+  GpuDevice device(0, SmallDevice());
+  auto stream = device.StreamCreate(1);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(device.StreamDestroy(1, *stream + 17).ok());
+  EXPECT_TRUE(device.StreamDestroy(1, *stream).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SimCudaApi
+// ---------------------------------------------------------------------------
+
+TEST(SimCudaApiTest, MallocFreeAndErrorReporting) {
+  GpuDevice device(0, SmallDevice(256_MiB));
+  SimCudaApi api(&device, 42);
+  DevicePtr p = kNullDevicePtr;
+  EXPECT_EQ(api.Malloc(&p, 1 << 20), CudaError::kSuccess);
+  EXPECT_NE(p, kNullDevicePtr);
+  EXPECT_EQ(api.Free(p), CudaError::kSuccess);
+  EXPECT_EQ(api.Free(kNullDevicePtr), CudaError::kSuccess);  // free(NULL)
+
+  // OOM maps to cudaErrorMemoryAllocation and sticks in GetLastError.
+  EXPECT_EQ(api.Malloc(&p, static_cast<std::size_t>(1_GiB)),
+            CudaError::kMemoryAllocation);
+  EXPECT_EQ(api.GetLastError(), CudaError::kMemoryAllocation);
+  EXPECT_EQ(api.GetLastError(), CudaError::kSuccess);  // cleared on read
+}
+
+TEST(SimCudaApiTest, StatsAccumulate) {
+  GpuDevice device(0, SmallDevice(256_MiB));
+  SimCudaApi api(&device, 42);
+  DevicePtr p = kNullDevicePtr;
+  ASSERT_EQ(api.Malloc(&p, 4096), CudaError::kSuccess);
+  ASSERT_EQ(api.MemcpyHostToDevice(p, nullptr, 4096), CudaError::kSuccess);
+  KernelLaunch launch;
+  launch.name = "k";
+  launch.duration = Millis(5);
+  ASSERT_EQ(api.LaunchKernel(launch), CudaError::kSuccess);
+  const GpuTimeStats stats = api.stats();
+  EXPECT_EQ(stats.kernel_launches, 1u);
+  EXPECT_EQ(stats.memcpy_calls, 1u);
+  EXPECT_EQ(stats.kernel_time, Millis(5));
+  EXPECT_GT(stats.transfer_time, Duration::zero());
+}
+
+TEST(SimCudaApiTest, UnregisterFatBinaryDestroysContext) {
+  GpuDevice device(0, SmallDevice(256_MiB));
+  SimCudaApi api(&device, 42);
+  DevicePtr p = kNullDevicePtr;
+  ASSERT_EQ(api.Malloc(&p, 4096), CudaError::kSuccess);
+  EXPECT_TRUE(device.HasContext(42));
+  api.UnregisterFatBinary();
+  EXPECT_FALSE(device.HasContext(42));
+  EXPECT_EQ(device.MemGetInfo().free, 256_MiB);
+}
+
+TEST(SimCudaApiTest, DestructorCleansUpLeakedContext) {
+  GpuDevice device(0, SmallDevice(256_MiB));
+  {
+    SimCudaApi api(&device, 42);
+    DevicePtr p = kNullDevicePtr;
+    ASSERT_EQ(api.Malloc(&p, 4096), CudaError::kSuccess);
+    // No free, no unregister — the "program" leaked.
+  }
+  EXPECT_EQ(device.MemGetInfo().free, 256_MiB);
+}
+
+TEST(SimCudaApiTest, GetDevicePropertiesValidatesDeviceIndex) {
+  GpuDevice device(3, SmallDevice());
+  SimCudaApi api(&device, 1);
+  DeviceProp prop;
+  EXPECT_EQ(api.GetDeviceProperties(&prop, 0), CudaError::kInvalidValue);
+  EXPECT_EQ(api.GetDeviceProperties(&prop, 3), CudaError::kSuccess);
+  EXPECT_EQ(prop.name, "Tesla K20m");
+}
+
+// ---------------------------------------------------------------------------
+// Built-in kernels
+// ---------------------------------------------------------------------------
+
+TEST(BuiltinKernelsTest, ComplementFlipsBitsOnMaterializedDevice) {
+  GpuDevice device(0, SmallDevice(256_MiB), MaterializedOptions());
+  auto p = device.Malloc(1, 64);
+  ASSERT_TRUE(p.ok());
+  std::vector<unsigned char> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<unsigned char>(i);
+  }
+  ASSERT_TRUE(device.CopyToDevice(1, *p, data.data(), 64).ok());
+  auto launch = ComplementKernel(device, *p, 64);
+  ASSERT_TRUE(launch.ok());
+  EXPECT_GT(launch->duration, Duration::zero());
+  std::vector<unsigned char> out(64);
+  ASSERT_TRUE(device.CopyToHost(1, out.data(), *p, 64).ok());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<unsigned char>(~data[i]));
+  }
+}
+
+TEST(BuiltinKernelsTest, SaxpyComputes) {
+  GpuDevice device(0, SmallDevice(256_MiB), MaterializedOptions());
+  constexpr int kN = 8;
+  auto x = device.Malloc(1, kN * 4);
+  auto y = device.Malloc(1, kN * 4);
+  ASSERT_TRUE(y.ok());
+  std::vector<float> xs(kN, 2.0f);
+  std::vector<float> ys(kN, 1.0f);
+  ASSERT_TRUE(device.CopyToDevice(1, *x, xs.data(), kN * 4).ok());
+  ASSERT_TRUE(device.CopyToDevice(1, *y, ys.data(), kN * 4).ok());
+  ASSERT_TRUE(SaxpyKernel(device, 3.0f, *x, *y, kN).ok());
+  std::vector<float> out(kN);
+  ASSERT_TRUE(device.CopyToHost(1, out.data(), *y, kN * 4).ok());
+  for (float v : out) EXPECT_FLOAT_EQ(v, 7.0f);  // 3*2 + 1
+}
+
+TEST(BuiltinKernelsTest, MatmulModelScalesWithCube) {
+  const DeviceProp prop = TeslaK20m();
+  const Duration small = MatmulModel(prop, 256).duration;
+  const Duration large = MatmulModel(prop, 512).duration;
+  EXPECT_GT(small, Duration::zero());
+  const double ratio = ToSeconds(large) / ToSeconds(small);
+  EXPECT_NEAR(ratio, 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace convgpu::cudasim

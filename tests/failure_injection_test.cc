@@ -1,0 +1,188 @@
+// Failure injection: malformed input, vanished peers, mid-flight shutdowns.
+// The middleware must degrade predictably — wrong inputs get errors, dead
+// peers get reclaimed, and nothing corrupts the ledger.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "convgpu/convgpu.h"
+#include "ipc/framing.h"
+#include "tests/test_util.h"
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+using convgpu::testing::TempDir;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() {
+    SchedulerServerOptions options;
+    options.base_dir = dir_.path();
+    options.scheduler.capacity = 5_GiB;
+    server_ = std::make_unique<SchedulerServer>(std::move(options));
+    EXPECT_TRUE(server_->Start().ok());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<SchedulerServer> server_;
+};
+
+TEST_F(FailureInjectionTest, GarbageFramesDoNotKillTheDaemon) {
+  auto fd = ipc::UnixConnect(server_->main_socket_path());
+  ASSERT_TRUE(fd.ok());
+  // Valid frame, invalid JSON.
+  ASSERT_TRUE(ipc::WriteFrame(fd->get(), "this is not json{{{").ok());
+  // Valid JSON, not a protocol message.
+  ASSERT_TRUE(ipc::WriteFrame(fd->get(), R"({"type":"flying-saucer"})").ok());
+  // Valid type, missing fields.
+  ASSERT_TRUE(ipc::WriteFrame(fd->get(), R"({"type":"alloc_request"})").ok());
+
+  // The daemon must still answer a well-formed request on a new connection.
+  auto client = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->GetString("type"), "pong");
+}
+
+TEST_F(FailureInjectionTest, RawByteNoiseDropsOnlyThatConnection) {
+  auto fd = ipc::UnixConnect(server_->main_socket_path());
+  ASSERT_TRUE(fd.ok());
+  // A "length" of 0xFFFFFFFF — over the frame cap; the server must drop us.
+  const unsigned char evil[8] = {0xFF, 0xFF, 0xFF, 0xFF, 'b', 'o', 'o', 'm'};
+  ASSERT_TRUE(ipc::WriteExact(fd->get(), evil, sizeof(evil)).ok());
+
+  auto client = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  ASSERT_TRUE(reply.ok());
+}
+
+TEST_F(FailureInjectionTest, SchedulerUnreachableMapsToDedicatedError) {
+  // Wrapper pointed at a dead socket: alloc APIs fail with the middleware
+  // error, not a crash or a hang.
+  auto link = SocketSchedulerLink::Connect(dir_.path() + "/nonexistent.sock");
+  EXPECT_FALSE(link.ok());
+  EXPECT_EQ(link.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FailureInjectionTest, SchedulerStopWhileClientConnected) {
+  ASSERT_TRUE(server_->core().RegisterContainer("c1", 512_MiB).ok());
+  auto main = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(main.ok());
+  server_->Stop();
+  // A call against the stopped daemon errors out rather than hanging.
+  auto reply = (*main)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(FailureInjectionTest, CloseForUnknownContainerIsHarmless) {
+  auto client = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(client.ok());
+  protocol::ContainerClose close;
+  close.container_id = "never-existed";
+  ASSERT_TRUE((*client)->Send(protocol::Encode(protocol::Message(close))).ok());
+  // Daemon still alive and consistent.
+  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(server_->core().CheckInvariants().ok());
+}
+
+TEST_F(FailureInjectionTest, StrayNotificationsRejectedConsistently) {
+  SchedulerCore& core = server_->core();
+  ASSERT_TRUE(core.RegisterContainer("c1", 512_MiB).ok());
+  // Commit without a reserve.
+  EXPECT_FALSE(core.CommitAlloc("c1", 1, 0xBAD, 64_MiB).ok());
+  // Free of an address nobody allocated.
+  EXPECT_FALSE(core.FreeAlloc("c1", 1, 0xBAD).ok());
+  // Abort without a reserve.
+  EXPECT_FALSE(core.AbortAlloc("c1", 1, 64_MiB).ok());
+  // Process exit of an unknown pid is a no-op, not an error.
+  EXPECT_TRUE(core.ProcessExit("c1", 777).ok());
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(FailureInjectionTest, DoubleCloseAndUseAfterClose) {
+  SchedulerCore& core = server_->core();
+  ASSERT_TRUE(core.RegisterContainer("c1", 512_MiB).ok());
+  ASSERT_TRUE(core.ContainerClose("c1").ok());
+  EXPECT_EQ(core.ContainerClose("c1").code(), StatusCode::kNotFound);
+  bool called = false;
+  Status seen;
+  core.RequestAlloc("c1", 1, 1_MiB, [&](const Status& s) {
+    called = true;
+    seen = s;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(seen.code(), StatusCode::kNotFound);
+}
+
+TEST_F(FailureInjectionTest, ReRegistrationAfterCloseIsAFreshContainer) {
+  SchedulerCore& core = server_->core();
+  ASSERT_TRUE(core.RegisterContainer("recycled", 1_GiB).ok());
+  bool granted = false;
+  core.RequestAlloc("recycled", 1, 512_MiB,
+                    [&](const Status& s) { granted = s.ok(); });
+  ASSERT_TRUE(granted);
+  ASSERT_TRUE(core.CommitAlloc("recycled", 1, 0x1, 512_MiB).ok());
+  ASSERT_TRUE(core.ContainerClose("recycled").ok());
+
+  ASSERT_TRUE(core.RegisterContainer("recycled", 2_GiB).ok());
+  auto stats = core.StatsFor("recycled");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->limit, 2_GiB);
+  EXPECT_EQ(stats->used, 0);  // no state leaked from the first life
+}
+
+TEST_F(FailureInjectionTest, HalfOpenClientSuspendedForeverIsCancelable) {
+  // A client suspends, then its container is closed by the plugin while
+  // the client still waits: the client gets an error reply, not silence.
+  ASSERT_TRUE(server_->core().RegisterContainer("hog", 4_GiB).ok());
+  bool hog_granted = false;
+  server_->core().RequestAlloc("hog", 1, 4_GiB,
+                               [&](const Status& s) { hog_granted = s.ok(); });
+  ASSERT_TRUE(hog_granted);
+  ASSERT_TRUE(server_->core().CommitAlloc("hog", 1, 0xB, 4_GiB).ok());
+
+  // Register "victim" over the real socket path so it owns a socket.
+  auto main = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(main.ok());
+  protocol::RegisterContainer reg;
+  reg.container_id = "victim";
+  reg.memory_limit = 2_GiB;
+  auto raw = (*main)->Call(protocol::Encode(protocol::Message(reg)));
+  ASSERT_TRUE(raw.ok());
+  auto decoded = protocol::Decode(*raw);
+  const auto& reply = std::get<protocol::RegisterReply>(*decoded);
+  ASSERT_TRUE(reply.ok);
+
+  auto victim = SocketSchedulerLink::Connect(reply.socket_path);
+  ASSERT_TRUE(victim.ok());
+  std::thread waiter([&] {
+    protocol::AllocRequest request;
+    request.container_id = "victim";
+    request.pid = 9;
+    request.size = 2_GiB;
+    auto result = (*victim)->Call(protocol::Message(request));
+    // Either an explicit denial or a connection teardown — never a hang.
+    if (result.ok()) {
+      const auto* alloc = std::get_if<protocol::AllocReply>(&*result);
+      ASSERT_NE(alloc, nullptr);
+      EXPECT_FALSE(alloc->granted);
+    }
+  });
+  // Let the request reach the pending queue, then close the container.
+  for (int i = 0; i < 500 && server_->core().pending_request_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  protocol::ContainerClose close;
+  close.container_id = "victim";
+  ASSERT_TRUE((*main)->Send(protocol::Encode(protocol::Message(close))).ok());
+  waiter.join();
+  EXPECT_EQ(server_->core().pending_request_count(), 0u);
+}
+
+}  // namespace
+}  // namespace convgpu

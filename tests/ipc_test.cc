@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "ipc/framing.h"
+#include "ipc/message_server.h"
+#include "ipc/socket.h"
+#include "tests/test_util.h"
+
+namespace convgpu::ipc {
+namespace {
+
+using convgpu::testing::TempDir;
+
+TEST(FramingTest, RoundTripsOverSocketPair) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first.get(), "hello").ok());
+  auto frame = ReadFrame(pair->second.get());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, "hello");
+}
+
+TEST(FramingTest, EmptyFrameAllowed) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first.get(), "").ok());
+  auto frame = ReadFrame(pair->second.get());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, "");
+}
+
+TEST(FramingTest, MultipleFramesStayDelimited) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first.get(), "one").ok());
+  ASSERT_TRUE(WriteFrame(pair->first.get(), "two").ok());
+  EXPECT_EQ(*ReadFrame(pair->second.get()), "one");
+  EXPECT_EQ(*ReadFrame(pair->second.get()), "two");
+}
+
+TEST(FramingTest, CleanEofIsAborted) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  pair->first.Reset();
+  auto frame = ReadFrame(pair->second.get());
+  EXPECT_EQ(frame.status().code(), StatusCode::kAborted);
+}
+
+TEST(FramingTest, OversizedFrameRejected) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(WriteFrame(pair->first.get(), big).ok());
+}
+
+TEST(FramingTest, JsonMessagesRoundTrip) {
+  auto pair = SocketPair();
+  ASSERT_TRUE(pair.ok());
+  json::Json msg;
+  msg["type"] = "ping";
+  msg["n"] = 42;
+  ASSERT_TRUE(WriteMessage(pair->first.get(), msg).ok());
+  auto received = ReadMessage(pair->second.get());
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(*received, msg);
+}
+
+TEST(UnixListenerTest, AcceptsConnections) {
+  TempDir dir;
+  auto listener = UnixListener::Bind(dir.path() + "/test.sock");
+  ASSERT_TRUE(listener.ok());
+
+  std::thread client([&] {
+    auto fd = UnixConnect(dir.path() + "/test.sock");
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(WriteFrame(fd->get(), "from-client").ok());
+  });
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(*ReadFrame(conn->get()), "from-client");
+  client.join();
+}
+
+TEST(UnixConnectTest, MissingSocketIsUnavailable) {
+  auto fd = UnixConnect("/tmp/definitely-not-a-socket-xyz");
+  EXPECT_EQ(fd.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpTest, LoopbackRoundTrip) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  ASSERT_GT(listener->port(), 0);
+
+  std::thread client([port = listener->port()] {
+    auto fd = TcpConnect(port);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(WriteFrame(fd->get(), "tcp-hello").ok());
+  });
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(*ReadFrame(conn->get()), "tcp-hello");
+  client.join();
+}
+
+class MessageServerTest : public ::testing::Test {
+ protected:
+  TempDir dir_;
+  MessageServer server_;
+
+  std::string SocketPath() { return dir_.path() + "/srv.sock"; }
+};
+
+TEST_F(MessageServerTest, EchoesImmediately) {
+  ASSERT_TRUE(server_
+                  .Start(SocketPath(),
+                         [this](ConnectionId conn, json::Json msg) {
+                           msg["echoed"] = true;
+                           (void)server_.Send(conn, msg);
+                         })
+                  .ok());
+
+  auto client = MessageClient::ConnectUnix(SocketPath());
+  ASSERT_TRUE(client.ok());
+  json::Json request;
+  request["type"] = "ping";
+  auto reply = (*client)->Call(request);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->GetBool("echoed"), true);
+  EXPECT_EQ(reply->GetString("type"), "ping");
+}
+
+TEST_F(MessageServerTest, DeferredReplyFromAnotherThread) {
+  // The suspension pattern: handler stores the connection; a different
+  // thread answers later.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<ConnectionId> waiting;
+
+  ASSERT_TRUE(server_
+                  .Start(SocketPath(),
+                         [&](ConnectionId conn, json::Json) {
+                           std::lock_guard lock(mutex);
+                           waiting = conn;
+                           cv.notify_one();
+                         })
+                  .ok());
+
+  std::thread releaser([&] {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return waiting.has_value(); });
+    json::Json reply;
+    reply["granted"] = true;
+    EXPECT_TRUE(server_.Send(*waiting, reply).ok());
+  });
+
+  auto client = MessageClient::ConnectUnix(SocketPath());
+  ASSERT_TRUE(client.ok());
+  json::Json request;
+  request["type"] = "alloc";
+  auto reply = (*client)->Call(request);  // blocks until the releaser acts
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->GetBool("granted"), true);
+  releaser.join();
+}
+
+TEST_F(MessageServerTest, DisconnectHandlerFires) {
+  std::atomic<int> disconnects{0};
+  ASSERT_TRUE(server_
+                  .Start(
+                      SocketPath(), [](ConnectionId, json::Json) {},
+                      [&](ConnectionId) { ++disconnects; })
+                  .ok());
+  {
+    auto client = MessageClient::ConnectUnix(SocketPath());
+    ASSERT_TRUE(client.ok());
+    json::Json hello;
+    hello["type"] = "hello";
+    ASSERT_TRUE((*client)->Send(hello).ok());
+  }  // client destroyed -> connection closes
+  for (int i = 0; i < 200 && disconnects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(disconnects.load(), 1);
+}
+
+TEST_F(MessageServerTest, ManyConcurrentClients) {
+  std::atomic<int> received{0};
+  ASSERT_TRUE(server_
+                  .Start(SocketPath(),
+                         [&](ConnectionId conn, json::Json msg) {
+                           ++received;
+                           (void)server_.Send(conn, msg);
+                         })
+                  .ok());
+  constexpr int kClients = 16;
+  constexpr int kMessages = 20;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = MessageClient::ConnectUnix(SocketPath());
+      ASSERT_TRUE(client.ok());
+      for (int m = 0; m < kMessages; ++m) {
+        json::Json request;
+        request["client"] = c;
+        request["seq"] = m;
+        auto reply = (*client)->Call(request);
+        ASSERT_TRUE(reply.ok());
+        EXPECT_EQ(reply->GetInt("seq"), m);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(received.load(), kClients * kMessages);
+}
+
+TEST_F(MessageServerTest, SendToUnknownConnectionIsNotFound) {
+  ASSERT_TRUE(server_.Start(SocketPath(), [](ConnectionId, json::Json) {}).ok());
+  json::Json msg;
+  msg["x"] = 1;
+  EXPECT_EQ(server_.Send(9999, msg).code(), StatusCode::kNotFound);
+}
+
+TEST_F(MessageServerTest, StopIsIdempotent) {
+  ASSERT_TRUE(server_.Start(SocketPath(), [](ConnectionId, json::Json) {}).ok());
+  server_.Stop();
+  server_.Stop();
+}
+
+}  // namespace
+}  // namespace convgpu::ipc

@@ -1,0 +1,223 @@
+#include "json/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace convgpu::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->as_bool(), true);
+  EXPECT_EQ(Json::Parse("false")->as_bool(), false);
+  EXPECT_EQ(Json::Parse("42")->as_int(), 42);
+  EXPECT_EQ(Json::Parse("-17")->as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, IntegerVsDoubleKindPreserved) {
+  EXPECT_TRUE(Json::Parse("5")->is_int());
+  EXPECT_TRUE(Json::Parse("5.0")->is_double());
+  EXPECT_TRUE(Json::Parse("5e0")->is_double());
+}
+
+TEST(JsonParseTest, LargeIntegersExact) {
+  // Allocation sizes must survive exactly: 5 GiB and friends.
+  const std::int64_t value = 5LL * 1024 * 1024 * 1024;
+  auto parsed = Json::Parse(std::to_string(value));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_int(), value);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  auto parsed = Json::Parse(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+  ASSERT_TRUE(parsed.ok());
+  const Json& j = *parsed;
+  EXPECT_EQ(j.Find("a")->as_array().size(), 3u);
+  EXPECT_TRUE(j.Find("a")->as_array()[2].Find("b")->is_null());
+  EXPECT_EQ(j.Find("c")->GetBool("d"), true);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto parsed = Json::Parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(Json::Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(Json::Parse(R"("é")")->as_string(), "\xC3\xA9");      // é
+  EXPECT_EQ(Json::Parse(R"("€")")->as_string(), "\xE2\x82\xAC");  // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::Parse(R"("😀")")->as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Json::Parse(R"("\ud83d")").ok());  // unpaired surrogate
+  EXPECT_FALSE(Json::Parse("\"\x01\"").ok());     // raw control char
+  EXPECT_FALSE(Json::Parse("nan").ok());
+}
+
+TEST(JsonParseTest, DeepNestingBounded) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonDumpTest, CompactDeterministicOutput) {
+  Json j;
+  j["b"] = 2;
+  j["a"] = 1;
+  j["c"] = Json(Array{Json(true), Json(nullptr)});
+  // Keys sorted -> byte-stable.
+  EXPECT_EQ(j.Dump(), R"({"a":1,"b":2,"c":[true,null]})");
+}
+
+TEST(JsonDumpTest, DoublesStayDoublesOnReparse) {
+  Json j(2.0);
+  auto reparsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->is_double());
+}
+
+TEST(JsonDumpTest, EscapesControlAndQuoteCharacters) {
+  Json j(std::string("a\"b\nc\x01"));
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\nc\\u0001\"");
+}
+
+TEST(JsonDumpTest, PrettyPrintIndents) {
+  Json j;
+  j["x"] = 1;
+  EXPECT_EQ(j.Dump(2), "{\n  \"x\": 1\n}");
+}
+
+TEST(JsonAccessorsTest, LenientLookups) {
+  auto j = *Json::Parse(R"({"s":"v","i":7,"d":1.5,"b":true})");
+  EXPECT_EQ(j.GetString("s"), "v");
+  EXPECT_EQ(j.GetInt("i"), 7);
+  EXPECT_EQ(j.GetDouble("d"), 1.5);
+  EXPECT_EQ(j.GetBool("b"), true);
+  EXPECT_EQ(j.GetString("missing"), std::nullopt);
+  EXPECT_EQ(j.GetInt("s"), std::nullopt);  // wrong kind
+  EXPECT_EQ(Json(5).Find("x"), nullptr);   // not an object
+}
+
+// Property: random JSON trees survive Dump -> Parse exactly.
+class JsonRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+Json RandomJson(Rng& rng, int depth) {
+  const std::uint64_t kind = rng.UniformBelow(depth > 3 ? 5 : 7);
+  switch (kind) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng.UniformBelow(2) == 0);
+    case 2:
+      return Json(rng.UniformInRange(-1'000'000'000'000, 1'000'000'000'000));
+    case 3:
+      return Json(static_cast<double>(rng.UniformInRange(-1000, 1000)) / 8.0);
+    case 4: {
+      std::string s;
+      const std::uint64_t len = rng.UniformBelow(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.UniformBelow(26));
+      }
+      if (rng.UniformBelow(4) == 0) s += "\"\\\n\t";
+      return Json(std::move(s));
+    }
+    case 5: {
+      Array arr;
+      const std::uint64_t len = rng.UniformBelow(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        arr.push_back(RandomJson(rng, depth + 1));
+      }
+      return Json(std::move(arr));
+    }
+    default: {
+      Object obj;
+      const std::uint64_t len = rng.UniformBelow(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        obj.emplace("k" + std::to_string(i), RandomJson(rng, depth + 1));
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+TEST_P(JsonRoundTripTest, DumpParseIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Json original = RandomJson(rng, 0);
+    auto reparsed = Json::Parse(original.Dump());
+    ASSERT_TRUE(reparsed.ok()) << original.Dump();
+    EXPECT_EQ(*reparsed, original) << original.Dump();
+    // Pretty-printed form parses back identically too.
+    auto pretty = Json::Parse(original.Dump(2));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(*pretty, original);
+  }
+}
+
+
+// Robustness: arbitrary byte soup must produce a parse error or a value,
+// never a crash or hang.
+TEST(JsonFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF0220);
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    const std::uint64_t length = rng.UniformBelow(64);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      input += static_cast<char>(rng.UniformBelow(256));
+    }
+    (void)Json::Parse(input);
+  }
+}
+
+// Structured fuzz: mutate valid documents by deleting/duplicating bytes.
+TEST(JsonFuzzTest, MutatedValidDocumentsNeverCrash) {
+  Rng rng(0xF0221);
+  const std::string seed_doc =
+      R"({"type":"alloc_request","container_id":"c1","pid":42,)"
+      R"("size":536870912,"api":"cudaMalloc","nested":[1,2.5,null,true]})";
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = seed_doc;
+    const std::uint64_t edits = 1 + rng.UniformBelow(4);
+    for (std::uint64_t e = 0; e < edits && !mutated.empty(); ++e) {
+      const auto pos = static_cast<std::size_t>(rng.UniformBelow(mutated.size()));
+      switch (rng.UniformBelow(3)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(rng.UniformBelow(256)));
+          break;
+        default:
+          mutated[pos] = static_cast<char>(rng.UniformBelow(256));
+      }
+    }
+    auto parsed = Json::Parse(mutated);
+    if (parsed.ok()) {
+      // Whatever survived must serialize and re-parse consistently.
+      auto again = Json::Parse(parsed->Dump());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace convgpu::json

@@ -1,0 +1,182 @@
+#include "convgpu/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+
+constexpr Bytes kOverhead = 66_MiB;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  MemoryLedger ledger_{5_GiB};
+};
+
+TEST_F(LedgerTest, RegisterAssignsUpToDeviceLimit) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  const ContainerAccount* account = ledger_.Find("a");
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->declared_limit, 1_GiB);
+  EXPECT_EQ(account->limit, 1_GiB + kOverhead);
+  EXPECT_EQ(account->assigned, 1_GiB + kOverhead);
+  EXPECT_EQ(ledger_.free_pool(), 5_GiB - 1_GiB - kOverhead);
+}
+
+TEST_F(LedgerTest, RegisterPartialWhenPoolShort) {
+  ASSERT_TRUE(ledger_.Register("a", 4_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Register("b", 2_GiB, kOverhead, Seconds(1)).ok());
+  const ContainerAccount* b = ledger_.Find("b");
+  EXPECT_LT(b->assigned, b->limit);  // Fig. 3b: partial assignment
+  EXPECT_EQ(ledger_.free_pool(), 0);
+}
+
+TEST_F(LedgerTest, RegisterRejectsImpossibleLimits) {
+  EXPECT_EQ(ledger_.Register("a", 5_GiB, kOverhead, Seconds(0)).code(),
+            StatusCode::kInvalidArgument);  // 5 GiB + overhead > capacity
+  EXPECT_EQ(ledger_.Register("a", 0, kOverhead, Seconds(0)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  EXPECT_EQ(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(LedgerTest, ReserveCommitFreeCycle) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Reserve("a", 256_MiB).ok());
+  EXPECT_EQ(ledger_.Find("a")->used, 256_MiB);
+  EXPECT_EQ(ledger_.Find("a")->reserved_in_flight, 256_MiB);
+
+  ASSERT_TRUE(ledger_.Commit("a", 100, 0xF00D, 256_MiB).ok());
+  EXPECT_EQ(ledger_.Find("a")->reserved_in_flight, 0);
+  EXPECT_EQ(ledger_.Find("a")->used, 256_MiB);
+
+  auto freed = ledger_.Free("a", 100, 0xF00D);
+  ASSERT_TRUE(freed.ok());
+  EXPECT_EQ(*freed, 256_MiB);
+  EXPECT_EQ(ledger_.Find("a")->used, 0);
+  EXPECT_TRUE(ledger_.CheckInvariants().ok());
+}
+
+TEST_F(LedgerTest, ReserveBeyondAssignedIsExhausted) {
+  ASSERT_TRUE(ledger_.Register("big", 4_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Register("a", 2_GiB, kOverhead, Seconds(1)).ok());
+  // "a" got only the leftover; a full reserve must signal suspension.
+  EXPECT_EQ(ledger_.Reserve("a", 2_GiB).code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(LedgerTest, ReserveBeyondLimitIsInvalid) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  EXPECT_EQ(ledger_.Reserve("a", 2_GiB).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LedgerTest, UnreserveRollsBack) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Reserve("a", 100_MiB).ok());
+  ASSERT_TRUE(ledger_.Unreserve("a", 100_MiB).ok());
+  EXPECT_EQ(ledger_.Find("a")->used, 0);
+  EXPECT_EQ(ledger_.Unreserve("a", 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LedgerTest, CommitWithoutReserveRejected) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  EXPECT_EQ(ledger_.Commit("a", 1, 0x1, 10_MiB).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LedgerTest, DuplicateAddressRejected) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Reserve("a", 20_MiB).ok());
+  ASSERT_TRUE(ledger_.Commit("a", 1, 0xA, 10_MiB).ok());
+  EXPECT_EQ(ledger_.Commit("a", 1, 0xA, 10_MiB).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(LedgerTest, OverheadChargedOncePerPid) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  EXPECT_EQ(ledger_.OverheadDue("a", 1, kOverhead), kOverhead);
+  ASSERT_TRUE(ledger_.Reserve("a", 10_MiB + kOverhead).ok());
+  ASSERT_TRUE(ledger_.ChargeOverhead("a", 1, kOverhead).ok());
+  ASSERT_TRUE(ledger_.Commit("a", 1, 0xA, 10_MiB).ok());
+  EXPECT_EQ(ledger_.OverheadDue("a", 1, kOverhead), 0);
+  EXPECT_EQ(ledger_.OverheadDue("a", 2, kOverhead), kOverhead);  // other pid
+  EXPECT_EQ(ledger_.Find("a")->used, 10_MiB + kOverhead);
+  EXPECT_TRUE(ledger_.CheckInvariants().ok());
+}
+
+TEST_F(LedgerTest, ProcessExitReleasesAllocationsAndOverhead) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Reserve("a", 30_MiB + kOverhead).ok());
+  ASSERT_TRUE(ledger_.ChargeOverhead("a", 1, kOverhead).ok());
+  ASSERT_TRUE(ledger_.Commit("a", 1, 0xA, 10_MiB).ok());
+  ASSERT_TRUE(ledger_.Commit("a", 1, 0xB, 20_MiB).ok());
+
+  auto released = ledger_.ProcessExit("a", 1, kOverhead);
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(*released, 30_MiB + kOverhead);
+  EXPECT_EQ(ledger_.Find("a")->used, 0);
+  // The assignment stays: the container keeps its guarantee until close.
+  EXPECT_EQ(ledger_.Find("a")->assigned, 1_GiB + kOverhead);
+  EXPECT_TRUE(ledger_.CheckInvariants().ok());
+}
+
+TEST_F(LedgerTest, CloseReturnsAssignmentToPool) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Close("a", Seconds(1)).ok());
+  EXPECT_EQ(ledger_.free_pool(), 5_GiB);
+  EXPECT_EQ(ledger_.Find("a"), nullptr);
+  EXPECT_EQ(ledger_.Close("a", Seconds(2)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(LedgerTest, TopUpBoundedByPoolAndLimit) {
+  ASSERT_TRUE(ledger_.Register("big", 4_GiB, kOverhead, Seconds(0)).ok());
+  ASSERT_TRUE(ledger_.Register("a", 2_GiB, kOverhead, Seconds(1)).ok());
+  const Bytes missing = ledger_.Find("a")->insufficient();
+  EXPECT_GT(missing, 0);
+  EXPECT_EQ(ledger_.TopUp("a", missing).code(),
+            StatusCode::kResourceExhausted);  // pool is empty
+  ASSERT_TRUE(ledger_.Close("big", Seconds(2)).ok());
+  EXPECT_EQ(ledger_.TopUp("a", missing + 1).code(),
+            StatusCode::kInvalidArgument);  // beyond the limit
+  ASSERT_TRUE(ledger_.TopUp("a", missing).ok());
+  EXPECT_EQ(ledger_.Find("a")->insufficient(), 0);
+}
+
+TEST_F(LedgerTest, SuspensionStatisticsAccumulate) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ledger_.MarkSuspended("a", Seconds(10));
+  ledger_.MarkSuspended("a", Seconds(11));  // idempotent while suspended
+  ledger_.MarkResumed("a", Seconds(14));
+  ledger_.MarkResumed("a", Seconds(15));  // idempotent while resumed
+  ledger_.MarkSuspended("a", Seconds(20));
+  ledger_.MarkResumed("a", Seconds(21));
+  const ContainerAccount* account = ledger_.Find("a");
+  EXPECT_EQ(account->total_suspended, Seconds(5));
+  EXPECT_EQ(account->suspend_episodes, 2u);
+  EXPECT_FALSE(account->suspended);
+}
+
+TEST_F(LedgerTest, CloseWhileSuspendedFinalizesStats) {
+  ASSERT_TRUE(ledger_.Register("a", 1_GiB, kOverhead, Seconds(0)).ok());
+  ledger_.MarkSuspended("a", Seconds(10));
+  ASSERT_TRUE(ledger_.Close("a", Seconds(13)).ok());
+  // Account is gone; the close path must not crash or corrupt the pool.
+  EXPECT_EQ(ledger_.free_pool(), 5_GiB);
+}
+
+TEST_F(LedgerTest, CapacityInvariantHoldsUnderChurn) {
+  for (int round = 0; round < 10; ++round) {
+    const std::string id = "c" + std::to_string(round);
+    ASSERT_TRUE(ledger_.Register(id, 2_GiB, kOverhead, Seconds(round)).ok());
+    ASSERT_TRUE(ledger_.CheckInvariants().ok());
+    if (round >= 2) {
+      ASSERT_TRUE(
+          ledger_.Close("c" + std::to_string(round - 2), Seconds(round)).ok());
+      ASSERT_TRUE(ledger_.CheckInvariants().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace convgpu

@@ -1,0 +1,193 @@
+#include "cudasim/mem_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace convgpu::cudasim {
+namespace {
+
+using namespace convgpu::literals;
+
+TEST(AllocatorTest, AllocationsDoNotOverlapAndAlign) {
+  DeviceMemoryAllocator alloc(1_MiB, 256);
+  auto a = alloc.Allocate(100);
+  auto b = alloc.Allocate(100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ((*a - kDevicePtrBase) % 256, 0u);
+  EXPECT_EQ((*b - kDevicePtrBase) % 256, 0u);
+  EXPECT_GE(*b, *a + 256);  // size rounded up to alignment
+}
+
+TEST(AllocatorTest, UsedBytesTracksAlignedSizes) {
+  DeviceMemoryAllocator alloc(1_MiB, 256);
+  ASSERT_TRUE(alloc.Allocate(100).ok());
+  EXPECT_EQ(alloc.used_bytes(), 256);
+  EXPECT_EQ(alloc.free_bytes(), 1_MiB - 256);
+}
+
+TEST(AllocatorTest, ExhaustionReturnsResourceExhausted) {
+  DeviceMemoryAllocator alloc(1_KiB, 256);
+  ASSERT_TRUE(alloc.Allocate(512).ok());
+  ASSERT_TRUE(alloc.Allocate(512).ok());
+  auto fail = alloc.Allocate(1);
+  EXPECT_EQ(fail.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AllocatorTest, FreeMakesMemoryReusable) {
+  DeviceMemoryAllocator alloc(1_KiB, 256);
+  auto a = alloc.Allocate(1024);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(alloc.Allocate(256).ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_TRUE(alloc.Allocate(1024).ok());
+}
+
+TEST(AllocatorTest, InvalidFreesRejected) {
+  DeviceMemoryAllocator alloc(1_MiB);
+  EXPECT_FALSE(alloc.Free(kDevicePtrBase + 128).ok());
+  EXPECT_FALSE(alloc.Free(0).ok());
+  auto a = alloc.Allocate(100);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_FALSE(alloc.Free(*a).ok());  // double free
+}
+
+TEST(AllocatorTest, ZeroAndNegativeSizesRejected) {
+  DeviceMemoryAllocator alloc(1_MiB);
+  EXPECT_FALSE(alloc.Allocate(0).ok());
+  EXPECT_FALSE(alloc.Allocate(-5).ok());
+}
+
+TEST(AllocatorTest, CoalescingRebuildsLargeBlocks) {
+  DeviceMemoryAllocator alloc(1_KiB, 256);
+  auto a = alloc.Allocate(256);
+  auto b = alloc.Allocate(256);
+  auto c = alloc.Allocate(256);
+  auto d = alloc.Allocate(256);
+  ASSERT_TRUE(d.ok());
+  // Free in an order that exercises forward + backward coalescing.
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  ASSERT_TRUE(alloc.Free(*d).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.free_block_count(), 1u);
+  EXPECT_EQ(alloc.largest_free_block(), 1_KiB);
+  EXPECT_TRUE(alloc.Allocate(1024).ok());
+}
+
+TEST(AllocatorTest, FragmentationCanBlockLargeAllocations) {
+  DeviceMemoryAllocator alloc(1_KiB, 256);
+  auto a = alloc.Allocate(256);
+  auto b = alloc.Allocate(256);
+  auto c = alloc.Allocate(256);
+  auto d = alloc.Allocate(256);
+  (void)a;
+  (void)c;
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  ASSERT_TRUE(alloc.Free(*d).ok());
+  EXPECT_EQ(alloc.free_bytes(), 512);
+  // 512 free but split into two 256 holes.
+  EXPECT_FALSE(alloc.Allocate(512).ok());
+  EXPECT_GT(alloc.FragmentationRatio(), 0.0);
+}
+
+TEST(AllocatorTest, SizeOfAndRangeQueries) {
+  DeviceMemoryAllocator alloc(1_MiB, 256);
+  auto a = alloc.Allocate(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc.SizeOf(*a), 1024);  // aligned
+  EXPECT_FALSE(alloc.SizeOf(*a + 10).has_value());  // not a base pointer
+  EXPECT_TRUE(alloc.ContainsRange(*a, 1024));
+  EXPECT_TRUE(alloc.ContainsRange(*a + 100, 512));
+  EXPECT_FALSE(alloc.ContainsRange(*a, 1025));
+  auto found = alloc.FindContaining(*a + 500);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->first, *a);
+  EXPECT_EQ(found->second, 1024);
+}
+
+TEST(AllocatorTest, BestFitPrefersTightestBlock) {
+  DeviceMemoryAllocator alloc(10_KiB, 256, FitPolicy::kBestFit);
+  auto a = alloc.Allocate(2048);  // will free -> 2 KiB hole
+  auto b = alloc.Allocate(256);   // separator
+  auto c = alloc.Allocate(512);   // will free -> 512 B hole
+  auto d = alloc.Allocate(256);   // separator
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  (void)b;
+  // Best-fit should pick the 512 hole, not the 2 KiB one.
+  auto e = alloc.Allocate(512);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, *c);
+}
+
+TEST(AllocatorTest, FirstFitPrefersLowestAddress) {
+  DeviceMemoryAllocator alloc(10_KiB, 256, FitPolicy::kFirstFit);
+  auto a = alloc.Allocate(2048);
+  auto b = alloc.Allocate(256);
+  auto c = alloc.Allocate(512);
+  auto d = alloc.Allocate(256);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  (void)b;
+  auto e = alloc.Allocate(512);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, *a);  // first (lowest) hole that fits
+}
+
+// Property: random alloc/free traffic conserves bytes and never corrupts
+// the free list, under both fit policies.
+class AllocatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<FitPolicy, std::uint64_t>> {};
+
+TEST_P(AllocatorPropertyTest, RandomTrafficConservesMemory) {
+  const auto [policy, seed] = GetParam();
+  DeviceMemoryAllocator alloc(4_MiB, 256, policy);
+  Rng rng(seed);
+  std::vector<std::pair<DevicePtr, Bytes>> live;
+  Bytes live_bytes = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || rng.UniformBelow(100) < 60;
+    if (do_alloc) {
+      const Bytes size = rng.UniformInRange(1, 64 * 1024);
+      auto p = alloc.Allocate(size);
+      if (p.ok()) {
+        const Bytes charged = *alloc.SizeOf(*p);
+        EXPECT_EQ(charged, AlignUp(size, 256));
+        live.emplace_back(*p, charged);
+        live_bytes += charged;
+      } else {
+        EXPECT_EQ(p.status().code(), StatusCode::kResourceExhausted);
+      }
+    } else {
+      const std::size_t index =
+          static_cast<std::size_t>(rng.UniformBelow(live.size()));
+      ASSERT_TRUE(alloc.Free(live[index].first).ok());
+      live_bytes -= live[index].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    ASSERT_EQ(alloc.used_bytes(), live_bytes);
+    ASSERT_EQ(alloc.allocation_count(), live.size());
+    ASSERT_EQ(alloc.free_bytes() + alloc.used_bytes(), 4_MiB);
+  }
+  for (const auto& [ptr, size] : live) ASSERT_TRUE(alloc.Free(ptr).ok());
+  EXPECT_EQ(alloc.used_bytes(), 0);
+  EXPECT_EQ(alloc.free_block_count(), 1u);
+  EXPECT_EQ(alloc.largest_free_block(), 4_MiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, AllocatorPropertyTest,
+    ::testing::Combine(::testing::Values(FitPolicy::kFirstFit,
+                                         FitPolicy::kBestFit),
+                       ::testing::Values(1u, 2u, 3u, 99u)));
+
+}  // namespace
+}  // namespace convgpu::cudasim

@@ -1,0 +1,177 @@
+#include "convgpu/multigpu.h"
+
+#include <gtest/gtest.h>
+
+#include "convgpu/cluster.h"
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+
+SchedulerOptions Base() {
+  SchedulerOptions options;
+  options.policy = "FIFO";
+  return options;
+}
+
+std::vector<MultiGpuScheduler::DeviceSpec> TwoDevices() {
+  return {{0, 5_GiB}, {1, 12_GiB}};
+}
+
+TEST(MultiGpuTest, MostFreeBalancesLoad) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(), PlacementPolicy::kMostFree);
+  // First container goes to the 12 GiB device (most free).
+  auto a = scheduler.RegisterContainer("a", 4_GiB);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 1);
+  // Next: device 1 has 8 GiB free, still more than device 0's 5 GiB.
+  auto b = scheduler.RegisterContainer("b", 4_GiB);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 1);
+  // Now device 0 (5 GiB) has more free than device 1 (~4 GiB).
+  auto c = scheduler.RegisterContainer("c", 1_GiB);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+}
+
+TEST(MultiGpuTest, BestFitPacksTightly) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(), PlacementPolicy::kBestFit);
+  // 4 GiB fits both; the 5 GiB device is the tighter fit.
+  auto a = scheduler.RegisterContainer("a", 4_GiB);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 0);
+  // 8 GiB only fits device 1.
+  auto b = scheduler.RegisterContainer("b", 8_GiB);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 1);
+}
+
+TEST(MultiGpuTest, RoundRobinRotatesButSkipsIncapableDevices) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(),
+                              PlacementPolicy::kRoundRobin);
+  EXPECT_EQ(*scheduler.RegisterContainer("a", 1_GiB), 0);
+  EXPECT_EQ(*scheduler.RegisterContainer("b", 1_GiB), 1);
+  EXPECT_EQ(*scheduler.RegisterContainer("c", 1_GiB), 0);
+  // 8 GiB never fits device 0's capacity: lands on device 1 regardless of
+  // whose turn it is.
+  EXPECT_EQ(*scheduler.RegisterContainer("big", 8_GiB), 1);
+}
+
+TEST(MultiGpuTest, ImpossibleEverywhereRefused) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(), PlacementPolicy::kMostFree);
+  auto result = scheduler.RegisterContainer("huge", 64_GiB);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MultiGpuTest, RoutingFollowsPlacement) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(), PlacementPolicy::kBestFit);
+  ASSERT_TRUE(scheduler.RegisterContainer("a", 1_GiB).ok());
+  bool granted = false;
+  scheduler.RequestAlloc("a", 1, 512_MiB,
+                         [&granted](const Status& s) { granted = s.ok(); });
+  ASSERT_TRUE(granted);
+  ASSERT_TRUE(scheduler.CommitAlloc("a", 1, 0x1, 512_MiB).ok());
+
+  const int device = *scheduler.DeviceOf("a");
+  EXPECT_GT(scheduler.device_core(device).StatsFor("a")->used, 512_MiB);
+  auto info = scheduler.MemGetInfo("a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->total, 1_GiB);
+
+  ASSERT_TRUE(scheduler.FreeAlloc("a", 1, 0x1).ok());
+  ASSERT_TRUE(scheduler.ProcessExit("a", 1).ok());
+  ASSERT_TRUE(scheduler.ContainerClose("a").ok());
+  EXPECT_FALSE(scheduler.DeviceOf("a").ok());
+  EXPECT_TRUE(scheduler.CheckInvariants().ok());
+}
+
+TEST(MultiGpuTest, SuspensionIsPerDevice) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(), PlacementPolicy::kBestFit);
+  // Fill device 0 with a 4 GiB hog.
+  ASSERT_TRUE(scheduler.RegisterContainer("hog", 4_GiB).ok());
+  bool hog_granted = false;
+  scheduler.RequestAlloc("hog", 1, 4_GiB,
+                         [&](const Status& s) { hog_granted = s.ok(); });
+  ASSERT_TRUE(hog_granted);
+  ASSERT_TRUE(scheduler.CommitAlloc("hog", 1, 0xB, 4_GiB).ok());
+
+  // A second 4 GiB container best-fits onto... device 0's pool is nearly
+  // empty, so it lands on device 1 and does NOT suspend.
+  ASSERT_TRUE(scheduler.RegisterContainer("second", 4_GiB).ok());
+  EXPECT_EQ(*scheduler.DeviceOf("second"), 1);
+  bool second_granted = false;
+  scheduler.RequestAlloc("second", 2, 4_GiB,
+                         [&](const Status& s) { second_granted = s.ok(); });
+  EXPECT_TRUE(second_granted);
+}
+
+TEST(MultiGpuTest, UnknownContainerRouting) {
+  MultiGpuScheduler scheduler(TwoDevices(), Base(), PlacementPolicy::kMostFree);
+  EXPECT_FALSE(scheduler.ContainerClose("ghost").ok());
+  EXPECT_FALSE(scheduler.MemGetInfo("ghost").ok());
+  bool called = false;
+  Status seen;
+  scheduler.RequestAlloc("ghost", 1, 1_MiB, [&](const Status& s) {
+    called = true;
+    seen = s;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(seen.code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterTest, SpreadsAcrossNodesBestFitFirst) {
+  ClusterScheduler cluster(
+      {{"node-a", {{0, 5_GiB}}}, {"node-b", {{0, 5_GiB}, {1, 12_GiB}}}},
+      Base());
+  // 4 GiB: node-a's 5 GiB total is the tighter fit vs node-b's 17 GiB.
+  auto a = cluster.RegisterContainer("w1", 4_GiB);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->node, "node-a");
+  // Another 4 GiB no longer fits node-a: node-b takes it.
+  auto b = cluster.RegisterContainer("w2", 4_GiB);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->node, "node-b");
+}
+
+TEST(ClusterTest, LifecycleRoutesToOwningNode) {
+  ClusterScheduler cluster(
+      {{"node-a", {{0, 5_GiB}}}, {"node-b", {{0, 5_GiB}}}}, Base());
+  auto placement = cluster.RegisterContainer("job", 2_GiB);
+  ASSERT_TRUE(placement.ok());
+
+  bool granted = false;
+  cluster.RequestAlloc("job", 1, 1_GiB,
+                       [&](const Status& s) { granted = s.ok(); });
+  ASSERT_TRUE(granted);
+  ASSERT_TRUE(cluster.CommitAlloc("job", 1, 0x1, 1_GiB).ok());
+  ASSERT_TRUE(cluster.FreeAlloc("job", 1, 0x1).ok());
+  ASSERT_TRUE(cluster.ProcessExit("job", 1).ok());
+  ASSERT_TRUE(cluster.ContainerClose("job").ok());
+  EXPECT_TRUE(cluster.CheckInvariants().ok());
+
+  // Re-registering after close is allowed (new container instance).
+  EXPECT_TRUE(cluster.RegisterContainer("job", 2_GiB).ok());
+}
+
+TEST(ClusterTest, OversubscribedClusterStillAdmitsViaSuspension) {
+  ClusterScheduler cluster({{"node-a", {{0, 5_GiB}}}}, Base());
+  ASSERT_TRUE(cluster.RegisterContainer("w1", 4_GiB).ok());
+  bool w1 = false;
+  cluster.RequestAlloc("w1", 1, 4_GiB, [&](const Status& s) { w1 = s.ok(); });
+  ASSERT_TRUE(w1);
+  ASSERT_TRUE(cluster.CommitAlloc("w1", 1, 0x1, 4_GiB).ok());
+
+  // No node has 4 GiB free, but the cluster still admits: the container
+  // suspends on its node until w1 leaves.
+  ASSERT_TRUE(cluster.RegisterContainer("w2", 4_GiB).ok());
+  bool w2_granted = false;
+  cluster.RequestAlloc("w2", 2, 4_GiB,
+                       [&](const Status& s) { w2_granted = s.ok(); });
+  EXPECT_FALSE(w2_granted);  // suspended
+  ASSERT_TRUE(cluster.ContainerClose("w1").ok());
+  EXPECT_TRUE(w2_granted);  // resumed by the release
+}
+
+}  // namespace
+}  // namespace convgpu

@@ -1,0 +1,111 @@
+#include "convgpu/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+
+PausedContainer Paused(std::string id, double created, double suspended,
+                       Bytes insufficient) {
+  return {std::move(id), Seconds(created), Seconds(suspended), insufficient};
+}
+
+TEST(FifoPolicyTest, PicksOldestCreated) {
+  FifoPolicy policy;
+  const std::vector<PausedContainer> paused = {
+      Paused("b", 2.0, 9.0, 100),
+      Paused("a", 1.0, 10.0, 200),
+      Paused("c", 3.0, 8.0, 50),
+  };
+  EXPECT_EQ(paused[policy.Select(paused, 1_GiB)].id, "a");
+}
+
+TEST(RecentUsePolicyTest, PicksMostRecentlySuspended) {
+  RecentUsePolicy policy;
+  const std::vector<PausedContainer> paused = {
+      Paused("b", 2.0, 9.0, 100),
+      Paused("a", 1.0, 10.0, 200),
+      Paused("c", 3.0, 8.0, 50),
+  };
+  EXPECT_EQ(paused[policy.Select(paused, 1_GiB)].id, "a");
+}
+
+TEST(BestFitPolicyTest, PicksLargestInsufficiencyThatFits) {
+  BestFitPolicy policy;
+  const std::vector<PausedContainer> paused = {
+      Paused("small", 1.0, 1.0, 100_MiB),
+      Paused("close", 2.0, 2.0, 900_MiB),
+      Paused("toobig", 3.0, 3.0, 2_GiB),
+  };
+  // 1 GiB free: "close" (900 MiB) is the largest need that still fits.
+  EXPECT_EQ(paused[policy.Select(paused, 1_GiB)].id, "close");
+}
+
+TEST(BestFitPolicyTest, ExactFitWins) {
+  BestFitPolicy policy;
+  const std::vector<PausedContainer> paused = {
+      Paused("a", 1.0, 1.0, 512_MiB),
+      Paused("exact", 2.0, 2.0, 1_GiB),
+  };
+  EXPECT_EQ(paused[policy.Select(paused, 1_GiB)].id, "exact");
+}
+
+TEST(BestFitPolicyTest, NothingFitsFallsBackToLeastInsufficient) {
+  BestFitPolicy policy;
+  const std::vector<PausedContainer> paused = {
+      Paused("big", 1.0, 1.0, 3_GiB),
+      Paused("least", 2.0, 2.0, 2_GiB),
+  };
+  // 1 GiB free, nobody fits: the least-insufficient container gets a
+  // partial assignment (Fig. 3d container D).
+  EXPECT_EQ(paused[policy.Select(paused, 1_GiB)].id, "least");
+}
+
+TEST(RandomPolicyTest, DeterministicForSeed) {
+  const std::vector<PausedContainer> paused = {
+      Paused("a", 1.0, 1.0, 100),
+      Paused("b", 2.0, 2.0, 100),
+      Paused("c", 3.0, 3.0, 100),
+  };
+  RandomPolicy p1(42);
+  RandomPolicy p2(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p1.Select(paused, 1_GiB), p2.Select(paused, 1_GiB));
+  }
+}
+
+TEST(RandomPolicyTest, CoversAllCandidates) {
+  const std::vector<PausedContainer> paused = {
+      Paused("a", 1.0, 1.0, 100),
+      Paused("b", 2.0, 2.0, 100),
+      Paused("c", 3.0, 3.0, 100),
+  };
+  RandomPolicy policy(7);
+  std::map<std::size_t, int> histogram;
+  for (int i = 0; i < 300; ++i) ++histogram[policy.Select(paused, 1_GiB)];
+  EXPECT_EQ(histogram.size(), 3u);
+  for (const auto& [index, count] : histogram) EXPECT_GT(count, 50);
+}
+
+TEST(PolicyFactoryTest, PaperNamesResolve) {
+  EXPECT_EQ(MakePolicy("FIFO")->name(), "FIFO");
+  EXPECT_EQ(MakePolicy("BF")->name(), "BF");
+  EXPECT_EQ(MakePolicy("RU")->name(), "RU");
+  EXPECT_EQ(MakePolicy("Rand")->name(), "Rand");
+  EXPECT_EQ(MakePolicy("nonsense"), nullptr);
+}
+
+TEST(PolicyTest, SingleCandidateAlwaysSelected) {
+  const std::vector<PausedContainer> paused = {Paused("only", 1.0, 1.0, 1_GiB)};
+  for (const char* name : {"FIFO", "BF", "RU", "Rand"}) {
+    auto policy = MakePolicy(name);
+    EXPECT_EQ(policy->Select(paused, Bytes{1}), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace convgpu

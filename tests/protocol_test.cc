@@ -1,0 +1,169 @@
+#include "convgpu/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace convgpu::protocol {
+namespace {
+
+using namespace convgpu::literals;
+
+template <typename T>
+T RoundTrip(const T& message) {
+  const json::Json encoded = Encode(Message(message));
+  // Through actual bytes, like the socket path does.
+  auto reparsed = json::Json::Parse(encoded.Dump());
+  EXPECT_TRUE(reparsed.ok());
+  auto decoded = Decode(*reparsed);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const T* typed = std::get_if<T>(&*decoded);
+  EXPECT_NE(typed, nullptr) << "wrong alternative after round trip";
+  return *typed;
+}
+
+TEST(ProtocolTest, RegisterContainerRoundTrip) {
+  RegisterContainer m;
+  m.container_id = "abc123";
+  m.memory_limit = 512_MiB;
+  const RegisterContainer out = RoundTrip(m);
+  EXPECT_EQ(out.container_id, "abc123");
+  EXPECT_EQ(out.memory_limit, 512_MiB);
+}
+
+TEST(ProtocolTest, RegisterContainerOmittedLimit) {
+  RegisterContainer m;
+  m.container_id = "abc123";
+  const RegisterContainer out = RoundTrip(m);
+  EXPECT_EQ(out.memory_limit, std::nullopt);
+}
+
+TEST(ProtocolTest, RegisterReplyRoundTrip) {
+  RegisterReply m;
+  m.ok = true;
+  m.socket_dir = "/run/convgpu/abc";
+  m.socket_path = "/run/convgpu/abc/convgpu.sock";
+  const RegisterReply out = RoundTrip(m);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.socket_dir, "/run/convgpu/abc");
+  EXPECT_EQ(out.socket_path, "/run/convgpu/abc/convgpu.sock");
+}
+
+TEST(ProtocolTest, AllocRequestRoundTrip) {
+  AllocRequest m;
+  m.container_id = "c";
+  m.pid = 4242;
+  m.size = 4_GiB;  // must survive exactly, beyond 32-bit
+  m.api = "cudaMallocPitch";
+  const AllocRequest out = RoundTrip(m);
+  EXPECT_EQ(out.pid, 4242);
+  EXPECT_EQ(out.size, 4_GiB);
+  EXPECT_EQ(out.api, "cudaMallocPitch");
+}
+
+TEST(ProtocolTest, AllocReplyCarriesError) {
+  AllocReply m;
+  m.granted = false;
+  m.error = "RESOURCE_EXHAUSTED: limit";
+  const AllocReply out = RoundTrip(m);
+  EXPECT_FALSE(out.granted);
+  EXPECT_EQ(out.error, "RESOURCE_EXHAUSTED: limit");
+}
+
+TEST(ProtocolTest, AllocCommitRoundTripsLargeAddress) {
+  AllocCommit m;
+  m.container_id = "c";
+  m.pid = 7;
+  m.address = 0x7000'0000'1234ULL;
+  m.size = 128_MiB;
+  const AllocCommit out = RoundTrip(m);
+  EXPECT_EQ(out.address, 0x7000'0000'1234ULL);
+  EXPECT_EQ(out.size, 128_MiB);
+}
+
+TEST(ProtocolTest, RemainingTypesRoundTrip) {
+  {
+    AllocAbort m;
+    m.container_id = "c";
+    m.pid = 1;
+    m.size = 1_MiB;
+    EXPECT_EQ(RoundTrip(m).size, 1_MiB);
+  }
+  {
+    FreeNotify m;
+    m.container_id = "c";
+    m.pid = 1;
+    m.address = 0xF00D;
+    EXPECT_EQ(RoundTrip(m).address, 0xF00Du);
+  }
+  {
+    MemGetInfoRequest m;
+    m.container_id = "c";
+    m.pid = 1;
+    EXPECT_EQ(RoundTrip(m).container_id, "c");
+  }
+  {
+    MemInfoReply m;
+    m.free = 100_MiB;
+    m.total = 512_MiB;
+    EXPECT_EQ(RoundTrip(m).total, 512_MiB);
+  }
+  {
+    ProcessExit m;
+    m.container_id = "c";
+    m.pid = 9;
+    EXPECT_EQ(RoundTrip(m).pid, 9);
+  }
+  {
+    ContainerClose m;
+    m.container_id = "gone";
+    EXPECT_EQ(RoundTrip(m).container_id, "gone");
+  }
+  RoundTrip(Ping{});
+  RoundTrip(Pong{});
+  RoundTrip(StatsRequest{});
+}
+
+TEST(ProtocolTest, StatsReplyRoundTrip) {
+  StatsReply m;
+  m.capacity = 5_GiB;
+  m.free_pool = 1_GiB;
+  m.policy = "BF";
+  ContainerStatsWire c;
+  c.container_id = "x";
+  c.limit = 2_GiB;
+  c.assigned = 1_GiB;
+  c.used = 512_MiB;
+  c.suspended = true;
+  c.total_suspended_sec = 12.5;
+  c.suspend_episodes = 3;
+  m.containers.push_back(c);
+  const StatsReply out = RoundTrip(m);
+  EXPECT_EQ(out.policy, "BF");
+  ASSERT_EQ(out.containers.size(), 1u);
+  EXPECT_EQ(out.containers[0].container_id, "x");
+  EXPECT_TRUE(out.containers[0].suspended);
+  EXPECT_DOUBLE_EQ(out.containers[0].total_suspended_sec, 12.5);
+  EXPECT_EQ(out.containers[0].suspend_episodes, 3u);
+}
+
+TEST(ProtocolTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Decode(json::Json(42)).ok());
+  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"no_type":1})")).ok());
+  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"type":"martian"})")).ok());
+  // Required fields missing.
+  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"type":"alloc_request"})")).ok());
+  EXPECT_FALSE(
+      Decode(*json::Json::Parse(R"({"type":"alloc_request","pid":1,"size":2})"))
+          .ok());
+  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"type":"container_close"})")).ok());
+}
+
+TEST(ProtocolTest, TypeNamesMatchWire) {
+  EXPECT_EQ(TypeName(Message(Ping{})), "ping");
+  EXPECT_EQ(TypeName(Message(AllocRequest{})), "alloc_request");
+  EXPECT_EQ(TypeName(Message(StatsReply{})), "stats_reply");
+  AllocRequest m;
+  EXPECT_EQ(Encode(Message(m)).GetString("type"), "alloc_request");
+}
+
+}  // namespace
+}  // namespace convgpu::protocol

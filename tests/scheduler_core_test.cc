@@ -1,0 +1,408 @@
+#include "convgpu/scheduler_core.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+
+constexpr Bytes kOverhead = 66_MiB;
+
+SchedulerOptions Options(std::string policy = "FIFO", Bytes capacity = 5_GiB) {
+  SchedulerOptions options;
+  options.capacity = capacity;
+  options.policy = std::move(policy);
+  options.first_alloc_overhead = kOverhead;
+  return options;
+}
+
+/// Callback recorder: remembers whether/when a request was decided.
+struct Decision {
+  std::optional<Status> status;
+  GrantCallback Callback() {
+    return [this](const Status& s) { status = s; };
+  }
+  [[nodiscard]] bool granted() const { return status.has_value() && status->ok(); }
+  [[nodiscard]] bool pending() const { return !status.has_value(); }
+};
+
+class SchedulerCoreTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+};
+
+TEST_F(SchedulerCoreTest, DefaultLimitIsOneGiB) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", std::nullopt).ok());
+  auto stats = core.StatsFor("a");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->limit, 1_GiB);
+}
+
+TEST_F(SchedulerCoreTest, GrantWithinAssignmentIsImmediate) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", 1_GiB).ok());
+  Decision d;
+  core.RequestAlloc("a", 1, 256_MiB, d.Callback());
+  EXPECT_TRUE(d.granted());
+  ASSERT_TRUE(core.CommitAlloc("a", 1, 0x1000, 256_MiB).ok());
+  auto stats = core.StatsFor("a");
+  EXPECT_EQ(stats->used, 256_MiB + kOverhead);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, FullDeclaredLimitIsAllocatable) {
+  // The paper's sample program allocates exactly its declared maximum; the
+  // overhead allowance makes that admissible.
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", 1_GiB).ok());
+  Decision d;
+  core.RequestAlloc("a", 1, 1_GiB, d.Callback());
+  EXPECT_TRUE(d.granted());
+}
+
+TEST_F(SchedulerCoreTest, OverLimitRejectedImmediately) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", 512_MiB).ok());
+  Decision d;
+  core.RequestAlloc("a", 1, 1_GiB, d.Callback());
+  ASSERT_FALSE(d.pending());
+  EXPECT_EQ(d.status->code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, OverheadChargedOnlyOnFirstAllocPerPid) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", 1_GiB).ok());
+  Decision d1, d2;
+  core.RequestAlloc("a", 1, 100_MiB, d1.Callback());
+  ASSERT_TRUE(d1.granted());
+  ASSERT_TRUE(core.CommitAlloc("a", 1, 0x1, 100_MiB).ok());
+  EXPECT_EQ(core.StatsFor("a")->used, 100_MiB + kOverhead);
+
+  core.RequestAlloc("a", 1, 100_MiB, d2.Callback());
+  ASSERT_TRUE(d2.granted());
+  ASSERT_TRUE(core.CommitAlloc("a", 1, 0x2, 100_MiB).ok());
+  EXPECT_EQ(core.StatsFor("a")->used, 200_MiB + kOverhead);
+}
+
+TEST_F(SchedulerCoreTest, UnknownContainerRejected) {
+  SchedulerCore core(Options(), &clock_);
+  Decision d;
+  core.RequestAlloc("ghost", 1, 1_MiB, d.Callback());
+  ASSERT_FALSE(d.pending());
+  EXPECT_EQ(d.status->code(), StatusCode::kNotFound);
+}
+
+TEST_F(SchedulerCoreTest, SuspensionResumesOnClose) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("big", 4_GiB).ok());
+  Decision big;
+  core.RequestAlloc("big", 1, 4_GiB, big.Callback());
+  ASSERT_TRUE(big.granted());
+  ASSERT_TRUE(core.CommitAlloc("big", 1, 0xB16, 4_GiB).ok());
+
+  ASSERT_TRUE(core.RegisterContainer("late", 2_GiB).ok());
+  Decision late;
+  clock_.ScheduleAt(Seconds(10), [] {});
+  clock_.RunUntilIdle();  // advance to t=10
+  core.RequestAlloc("late", 2, 2_GiB, late.Callback());
+  EXPECT_TRUE(late.pending());  // suspended
+  EXPECT_EQ(core.pending_request_count(), 1u);
+  EXPECT_TRUE(core.StatsFor("late")->suspended);
+
+  clock_.ScheduleAt(Seconds(25), [] {});
+  clock_.RunUntilIdle();
+  ASSERT_TRUE(core.ContainerClose("big").ok());
+  EXPECT_TRUE(late.granted());  // redistribution satisfied it
+  EXPECT_EQ(core.pending_request_count(), 0u);
+  EXPECT_EQ(core.StatsFor("late")->total_suspended, Seconds(15));
+  EXPECT_EQ(core.StatsFor("late")->suspend_episodes, 1u);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, Figure3Walkthrough) {
+  // Reproduces the paper's Fig. 3 example end to end.
+  SchedulerCore core(Options("FIFO", 5_GiB), &clock_);
+
+  // (a) A and B running, each holding real allocations.
+  ASSERT_TRUE(core.RegisterContainer("A", 1536_MiB).ok());
+  ASSERT_TRUE(core.RegisterContainer("B", 2_GiB).ok());
+  Decision da, db;
+  core.RequestAlloc("A", 1, 1536_MiB, da.Callback());
+  core.RequestAlloc("B", 2, 2_GiB, db.Callback());
+  ASSERT_TRUE(da.granted());
+  ASSERT_TRUE(db.granted());
+  ASSERT_TRUE(core.CommitAlloc("A", 1, 0xA, 1536_MiB).ok());
+  ASSERT_TRUE(core.CommitAlloc("B", 2, 0xB, 2_GiB).ok());
+
+  // (b) C arrives wanting 2 GiB; only part of that is assignable.
+  ASSERT_TRUE(core.RegisterContainer("C", 2_GiB).ok());
+  EXPECT_LT(core.StatsFor("C")->assigned, 2_GiB);
+  // C works fine within its partial assignment.
+  Decision dc_small;
+  core.RequestAlloc("C", 3, 256_MiB, dc_small.Callback());
+  EXPECT_TRUE(dc_small.granted());
+  ASSERT_TRUE(core.CommitAlloc("C", 3, 0xC0, 256_MiB).ok());
+
+  // (c) C asks beyond its assignment (but within its limit): suspended.
+  Decision dc_big;
+  core.RequestAlloc("C", 3, 1536_MiB, dc_big.Callback());
+  EXPECT_TRUE(dc_big.pending());
+  // D arrives with nothing assigned; its first allocation suspends too.
+  ASSERT_TRUE(core.RegisterContainer("D", 2_GiB).ok());
+  EXPECT_EQ(core.StatsFor("D")->assigned, 0);
+  Decision dd;
+  core.RequestAlloc("D", 4, 2_GiB, dd.Callback());
+  EXPECT_TRUE(dd.pending());
+
+  // (d) B terminates: C (older) is made whole and resumes; the remainder
+  // goes to D but is insufficient, so D stays suspended.
+  ASSERT_TRUE(core.ContainerClose("B").ok());
+  EXPECT_TRUE(dc_big.granted());
+  EXPECT_TRUE(dd.pending());
+  EXPECT_GT(core.StatsFor("D")->assigned, 0);      // partial assignment
+  EXPECT_LT(core.StatsFor("D")->assigned, 2_GiB);  // but not enough
+  EXPECT_EQ(core.free_pool(), 0);
+
+  // Eventually A and C finish and D runs.
+  ASSERT_TRUE(core.ContainerClose("A").ok());
+  ASSERT_TRUE(core.ContainerClose("C").ok());
+  EXPECT_TRUE(dd.granted());
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, FreeUnblocksOwnPendingRequest) {
+  SchedulerCore core(Options("FIFO", 5_GiB), &clock_);
+  // A hog pins most of the GPU so "a" only gets a partial assignment.
+  ASSERT_TRUE(core.RegisterContainer("hog", 4_GiB).ok());
+  Decision hog;
+  core.RequestAlloc("hog", 1, 4_GiB, hog.Callback());
+  ASSERT_TRUE(hog.granted());
+  ASSERT_TRUE(core.CommitAlloc("hog", 1, 0xB, 4_GiB).ok());
+
+  ASSERT_TRUE(core.RegisterContainer("a", 2_GiB).ok());
+  Decision first;
+  core.RequestAlloc("a", 2, 500_MiB, first.Callback());
+  ASSERT_TRUE(first.granted());  // fits in the partial assignment
+  ASSERT_TRUE(core.CommitAlloc("a", 2, 0x1, 500_MiB).ok());
+
+  Decision second;
+  core.RequestAlloc("a", 2, 600_MiB, second.Callback());
+  EXPECT_TRUE(second.pending());  // beyond the partial assignment
+
+  // Freeing a's own earlier allocation makes room within its assignment —
+  // no other container needs to exit.
+  ASSERT_TRUE(core.FreeAlloc("a", 2, 0x1).ok());
+  EXPECT_TRUE(second.granted());
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, PerContainerFifoPreserved) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("big", 4_GiB).ok());
+  Decision hog;
+  core.RequestAlloc("big", 1, 4_GiB, hog.Callback());
+  ASSERT_TRUE(hog.granted());
+  ASSERT_TRUE(core.CommitAlloc("big", 1, 0xB, 4_GiB).ok());
+
+  ASSERT_TRUE(core.RegisterContainer("a", 2_GiB).ok());
+  Decision d1, d2;
+  core.RequestAlloc("a", 2, 1_GiB, d1.Callback());  // suspends
+  EXPECT_TRUE(d1.pending());
+  // A second, smaller request from the same container queues BEHIND the
+  // first even though it might fit — per-container FIFO.
+  core.RequestAlloc("a", 2, 512_MiB, d2.Callback());
+  EXPECT_TRUE(d2.pending());
+
+  ASSERT_TRUE(core.ContainerClose("big").ok());
+  EXPECT_TRUE(d1.granted());
+  EXPECT_TRUE(d2.granted());
+}
+
+TEST_F(SchedulerCoreTest, AbortAllocRollsBackReservation) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", 1_GiB).ok());
+  Decision d;
+  core.RequestAlloc("a", 1, 512_MiB, d.Callback());
+  ASSERT_TRUE(d.granted());
+  const Bytes used_before_abort = core.StatsFor("a")->used;
+  EXPECT_EQ(used_before_abort, 512_MiB + kOverhead);
+  ASSERT_TRUE(core.AbortAlloc("a", 1, 512_MiB).ok());
+  EXPECT_EQ(core.StatsFor("a")->used, kOverhead);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, ProcessExitCancelsPendingAndReleasesMemory) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("big", 4_GiB).ok());
+  Decision hog;
+  core.RequestAlloc("big", 1, 4_GiB, hog.Callback());
+  ASSERT_TRUE(hog.granted());
+  ASSERT_TRUE(core.CommitAlloc("big", 1, 0xB, 4_GiB).ok());
+
+  ASSERT_TRUE(core.RegisterContainer("a", 2_GiB).ok());
+  Decision d;
+  core.RequestAlloc("a", 7, 2_GiB, d.Callback());
+  EXPECT_TRUE(d.pending());
+
+  // The waiting process dies: its request is canceled, not left dangling.
+  ASSERT_TRUE(core.ProcessExit("a", 7).ok());
+  ASSERT_FALSE(d.pending());
+  EXPECT_EQ(d.status->code(), StatusCode::kAborted);
+  EXPECT_EQ(core.pending_request_count(), 0u);
+  EXPECT_FALSE(core.StatsFor("a")->suspended);
+
+  // And the hog's exit releases its memory even without explicit frees.
+  ASSERT_TRUE(core.ProcessExit("big", 1).ok());
+  EXPECT_EQ(core.StatsFor("big")->used, 0);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST_F(SchedulerCoreTest, CloseCancelsPendingRequests) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("big", 4_GiB).ok());
+  Decision hog;
+  core.RequestAlloc("big", 1, 4_GiB, hog.Callback());
+  ASSERT_TRUE(core.CommitAlloc("big", 1, 0xB, 4_GiB).ok());
+  ASSERT_TRUE(core.RegisterContainer("a", 2_GiB).ok());
+  Decision d;
+  core.RequestAlloc("a", 2, 2_GiB, d.Callback());
+  EXPECT_TRUE(d.pending());
+  ASSERT_TRUE(core.ContainerClose("a").ok());
+  ASSERT_FALSE(d.pending());
+  EXPECT_EQ(d.status->code(), StatusCode::kAborted);
+}
+
+TEST_F(SchedulerCoreTest, MemGetInfoIsVirtualizedPerContainer) {
+  SchedulerCore core(Options(), &clock_);
+  ASSERT_TRUE(core.RegisterContainer("a", 512_MiB).ok());
+  auto info = core.MemGetInfo("a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->total, 512_MiB);  // the limit, not the 5 GB GPU
+  EXPECT_EQ(info->free, 512_MiB);
+
+  Decision d;
+  core.RequestAlloc("a", 1, 100_MiB, d.Callback());
+  ASSERT_TRUE(d.granted());
+  ASSERT_TRUE(core.CommitAlloc("a", 1, 0x1, 100_MiB).ok());
+  info = core.MemGetInfo("a");
+  // The driver overhead is hidden from the user-visible view.
+  EXPECT_EQ(info->free, 412_MiB);
+  EXPECT_EQ(info->total, 512_MiB);
+}
+
+TEST_F(SchedulerCoreTest, BestFitSelectsDifferentlyThanFifo) {
+  // One 3 GiB hog; two waiters: first-registered wants 2 GiB more, the
+  // second wants exactly what the hog will release.
+  for (const std::string& policy : {std::string("FIFO"), std::string("BF")}) {
+    SimClock clock;
+    SchedulerCore core(Options(policy, 4_GiB), &clock);
+    ASSERT_TRUE(core.RegisterContainer("hog", 3_GiB).ok());
+    Decision hog;
+    core.RequestAlloc("hog", 1, 3_GiB, hog.Callback());
+    ASSERT_TRUE(hog.granted());
+    ASSERT_TRUE(core.CommitAlloc("hog", 1, 0x1, 3_GiB).ok());
+
+    ASSERT_TRUE(core.RegisterContainer("wants2g", 2_GiB).ok());
+    Decision d_big;
+    core.RequestAlloc("wants2g", 2, 2_GiB, d_big.Callback());
+    ASSERT_TRUE(core.RegisterContainer("wants3g", 3_GiB).ok());
+    Decision d_exact;
+    core.RequestAlloc("wants3g", 3, 3_GiB, d_exact.Callback());
+    EXPECT_TRUE(d_big.pending());
+    EXPECT_TRUE(d_exact.pending());
+
+    ASSERT_TRUE(core.ContainerClose("hog").ok());
+    if (policy == "FIFO") {
+      // Oldest first: wants2g resumes, wants3g gets the leftover (short).
+      EXPECT_TRUE(d_big.granted());
+      EXPECT_TRUE(d_exact.pending());
+    } else {
+      // Best-Fit: wants3g's insufficiency is closest to the released
+      // 3 GiB + overhead without exceeding it.
+      EXPECT_TRUE(d_exact.granted());
+      EXPECT_TRUE(d_big.pending());
+    }
+  }
+}
+
+// Property: randomized container churn never deadlocks, never violates
+// invariants, and always drains — across every policy.
+class SchedulerChurnTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {};
+
+TEST_P(SchedulerChurnTest, RandomChurnDrainsWithoutDeadlock) {
+  const auto& [policy, seed] = GetParam();
+  SimClock clock;
+  SchedulerCore core(Options(policy, 5_GiB), &clock);
+  Rng rng(seed);
+
+  struct Live {
+    std::string id;
+    Pid pid;
+    Bytes size;
+    bool committed = false;
+    Decision decision;
+  };
+  std::vector<std::unique_ptr<Live>> containers;
+  int created = 0;
+
+  for (int step = 0; step < 300; ++step) {
+    clock.ScheduleAt(Seconds(step), [] {});
+    clock.RunUntilIdle();
+    const auto action = rng.UniformBelow(3);
+    if (action == 0 || containers.empty()) {
+      auto live = std::make_unique<Live>();
+      live->id = "c" + std::to_string(created);
+      live->pid = 100 + created;
+      ++created;
+      live->size = rng.UniformInRange(64, 4096) * kMiB / 2;
+      if (live->size > 4_GiB) live->size = 4_GiB;
+      if (!core.RegisterContainer(live->id, live->size).ok()) continue;
+      auto* raw = live.get();
+      core.RequestAlloc(live->id, live->pid, live->size,
+                        raw->decision.Callback());
+      containers.push_back(std::move(live));
+    } else {
+      const auto index = rng.UniformBelow(containers.size());
+      auto& live = *containers[index];
+      if (live.decision.granted() && !live.committed) {
+        ASSERT_TRUE(core
+                        .CommitAlloc(live.id, live.pid,
+                                     0x1000u + static_cast<std::uint64_t>(index),
+                                     live.size)
+                        .ok());
+        live.committed = true;
+      } else {
+        ASSERT_TRUE(core.ContainerClose(live.id).ok());
+        containers.erase(containers.begin() +
+                         static_cast<std::ptrdiff_t>(index));
+      }
+    }
+    ASSERT_TRUE(core.CheckInvariants().ok()) << "step " << step;
+  }
+
+  // Drain: close everything; every pending request must resolve.
+  while (!containers.empty()) {
+    ASSERT_TRUE(core.ContainerClose(containers.back()->id).ok());
+    containers.pop_back();
+  }
+  EXPECT_EQ(core.pending_request_count(), 0u);
+  EXPECT_EQ(core.free_pool(), 5_GiB);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, SchedulerChurnTest,
+    ::testing::Combine(::testing::Values("FIFO", "BF", "RU", "Rand"),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+}  // namespace
+}  // namespace convgpu

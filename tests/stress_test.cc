@@ -1,0 +1,131 @@
+// Concurrency stress: many threads hammering one SchedulerCore through the
+// same paths the daemon uses, checking the mutex discipline and accounting
+// under contention; plus shape pins for the paper's headline results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <future>
+#include <thread>
+
+#include "convgpu/scheduler_core.h"
+#include "workload/des.h"
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+
+TEST(SchedulerStressTest, ParallelContainersStayConsistent) {
+  SchedulerOptions options;
+  options.capacity = 5_GiB;
+  options.policy = "BF";
+  SchedulerCore core(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 40;
+  std::atomic<int> errors{0};
+
+  auto worker = [&](int thread_index) {
+    for (int round = 0; round < kRoundsPerThread; ++round) {
+      const std::string id =
+          "t" + std::to_string(thread_index) + "r" + std::to_string(round);
+      const Pid pid = 1000 + thread_index;
+      const Bytes size = (64 + 64 * ((thread_index + round) % 6)) * kMiB;
+      if (!core.RegisterContainer(id, size).ok()) {
+        ++errors;
+        continue;
+      }
+      // Blocking-style allocation: wait for the decision like the socket
+      // client does.
+      std::promise<Status> decided;
+      auto future = decided.get_future();
+      core.RequestAlloc(id, pid, size,
+                        [&decided](const Status& s) { decided.set_value(s); });
+      const Status status = future.get();
+      if (status.ok()) {
+        if (!core.CommitAlloc(id, pid, 0xA000u + static_cast<std::uint64_t>(round),
+                              size)
+                 .ok()) {
+          ++errors;
+        }
+        if (!core.FreeAlloc(id, pid, 0xA000u + static_cast<std::uint64_t>(round))
+                 .ok()) {
+          ++errors;
+        }
+      }
+      (void)core.ProcessExit(id, pid);
+      if (!core.ContainerClose(id).ok()) ++errors;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) threads.emplace_back(worker, i);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(core.pending_request_count(), 0u);
+  EXPECT_EQ(core.free_pool(), 5_GiB);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+// Pins the reproduction's headline shapes so regressions in the scheduler
+// would show up as test failures, not just drifting bench numbers.
+TEST(ReproductionShapeTest, BestFitWinsFinishTimeAtHighLoad) {
+  using namespace convgpu::workload;
+  double bf_total = 0;
+  double rand_total = 0;
+  for (std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    for (const char* policy : {"BF", "Rand"}) {
+      CloudSimConfig config;
+      config.num_containers = 34;
+      config.policy = policy;
+      config.seed = seed;
+      auto result = RunCloudSimulationAveraged(config, 3);
+      ASSERT_TRUE(result.ok());
+      (policy[0] == 'B' ? bf_total : rand_total) +=
+          ToSeconds(result->finished_time);
+    }
+  }
+  // Paper Table IV: BF beats Random at high load.
+  EXPECT_LT(bf_total, rand_total);
+}
+
+TEST(ReproductionShapeTest, PoliciesTieAtLowLoad) {
+  using namespace convgpu::workload;
+  std::vector<double> finishes;
+  for (const char* policy : {"FIFO", "BF", "RU", "Rand"}) {
+    CloudSimConfig config;
+    config.num_containers = 6;
+    config.policy = policy;
+    config.seed = 77;
+    auto result = RunCloudSimulationAveraged(config, 4);
+    ASSERT_TRUE(result.ok());
+    finishes.push_back(ToSeconds(result->finished_time));
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(finishes.begin(), finishes.end());
+  // Paper: "The four algorithms show similar performance when the number
+  // of containers is less than 16."
+  EXPECT_LT(*max_it - *min_it, 0.10 * *min_it);
+}
+
+TEST(ReproductionShapeTest, FinishTimeRoughlyDoublesWithLoad) {
+  using namespace convgpu::workload;
+  CloudSimConfig config;
+  config.seed = 55;
+  config.num_containers = 16;
+  auto base = RunCloudSimulationAveraged(config, 4);
+  config.num_containers = 32;
+  auto doubled = RunCloudSimulationAveraged(config, 4);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(doubled.ok());
+  const double ratio =
+      ToSeconds(doubled->finished_time) / ToSeconds(base->finished_time);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.5);
+}
+
+}  // namespace
+}  // namespace convgpu

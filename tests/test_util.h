@@ -1,0 +1,32 @@
+// Shared test helpers.
+#pragma once
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include <unistd.h>
+
+namespace convgpu::testing {
+
+/// Unique temporary directory, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "convgpu-test") {
+    std::string templ = "/tmp/" + prefix + "-XXXXXX";
+    path_ = ::mkdtemp(templ.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace convgpu::testing

@@ -1,0 +1,162 @@
+// Sample-program and MNIST-model workload tests.
+#include <gtest/gtest.h>
+
+#include "convgpu/scheduler_core.h"
+#include "convgpu/scheduler_link.h"
+#include "convgpu/wrapper_core.h"
+#include "cudasim/gpu_device.h"
+#include "cudasim/sim_cuda_api.h"
+#include "workload/mnist_model.h"
+#include "workload/sample_program.h"
+
+namespace convgpu::workload {
+namespace {
+
+using namespace convgpu::literals;
+using cudasim::CudaError;
+
+cudasim::GpuDeviceOptions Materialized() {
+  cudasim::GpuDeviceOptions options;
+  options.materialize_data = true;
+  return options;
+}
+
+TEST(SampleProgramTest, RunsCleanOnBareRuntime) {
+  cudasim::GpuDevice device(0, cudasim::TeslaK20m());
+  cudasim::SimCudaApi api(&device, 1);
+  SampleProgramConfig config;
+  config.gpu_memory = 128_MiB;
+  config.compute_duration = Seconds(5);
+  const SampleProgramReport report = RunSampleProgram(api, config);
+  EXPECT_EQ(report.result, CudaError::kSuccess);
+  EXPECT_EQ(report.allocated, 128_MiB);
+  // Fully cleaned up after itself.
+  EXPECT_EQ(device.MemGetInfo().free, device.properties().total_global_mem);
+}
+
+TEST(SampleProgramTest, VerifiesComplementOnMaterializedDevice) {
+  cudasim::DeviceProp prop = cudasim::TeslaK20m();
+  prop.total_global_mem = 512_MiB;
+  cudasim::GpuDevice device(0, prop, Materialized());
+  cudasim::SimCudaApi api(&device, 1);
+  SampleProgramConfig config;
+  config.gpu_memory = 1_MiB;
+  config.compute_duration = Millis(1);
+  config.materialized_device = &device;
+  const SampleProgramReport report = RunSampleProgram(api, config);
+  EXPECT_EQ(report.result, CudaError::kSuccess);
+  EXPECT_TRUE(report.data_verified);
+}
+
+TEST(SampleProgramTest, FailsCleanlyWhenDeviceTooSmall) {
+  cudasim::DeviceProp prop = cudasim::TeslaK20m();
+  prop.total_global_mem = 256_MiB;
+  cudasim::GpuDevice device(0, prop);
+  cudasim::SimCudaApi api(&device, 1);
+  SampleProgramConfig config;
+  config.gpu_memory = 1_GiB;
+  const SampleProgramReport report = RunSampleProgram(api, config);
+  EXPECT_EQ(report.result, CudaError::kMemoryAllocation);
+  EXPECT_EQ(device.MemGetInfo().free, 256_MiB);  // context cleaned up too
+}
+
+TEST(SampleProgramTest, RespectsConVGpuLimitThroughWrapper) {
+  SimClock clock;
+  SchedulerOptions options;
+  options.capacity = 5_GiB;
+  SchedulerCore core(options, &clock);
+  ASSERT_TRUE(core.RegisterContainer("c", 256_MiB).ok());
+
+  cudasim::GpuDevice device(0, cudasim::TeslaK20m());
+  cudasim::SimCudaApi inner(&device, 9);
+  DirectSchedulerLink link(&core, "c");
+  WrapperCore wrapper(&inner, &link, 9);
+
+  SampleProgramConfig config;
+  config.gpu_memory = 1_GiB;  // beyond the container's 256 MiB limit
+  const SampleProgramReport report = RunSampleProgram(wrapper, config);
+  EXPECT_EQ(report.result, CudaError::kMemoryAllocation);
+
+  config.gpu_memory = 256_MiB;  // exactly the limit: fine
+  const SampleProgramReport ok = RunSampleProgram(wrapper, config);
+  EXPECT_EQ(ok.result, CudaError::kSuccess);
+}
+
+TEST(MnistModelTest, FootprintIsPlausible) {
+  MnistConfig config;
+  const Bytes footprint = MnistDeviceFootprint(config);
+  // Weights ~13 MB ×3 + activations ~50 MB + 64 MiB workspace.
+  EXPECT_GT(footprint, 100_MiB);
+  EXPECT_LT(footprint, 1_GiB);
+}
+
+TEST(MnistModelTest, RunsAndReportsCallMix) {
+  cudasim::GpuDevice device(0, cudasim::TeslaK20m());
+  cudasim::SimCudaApi api(&device, 5);
+  MnistConfig config;
+  config.train_steps = 50;
+  const MnistReport report = RunMnistTraining(api, config);
+  ASSERT_EQ(report.result, CudaError::kSuccess);
+  // 6 layers × 2 (fwd/bwd) + optimizer per step.
+  EXPECT_EQ(report.kernel_launches, static_cast<std::uint64_t>(50 * 13));
+  // Batch feed + loss readback per step, plus 4 weight uploads.
+  EXPECT_EQ(report.memcpy_calls, static_cast<std::uint64_t>(50 * 2 + 4));
+  EXPECT_GT(report.modeled_gpu_time, Duration::zero());
+  EXPECT_EQ(device.MemGetInfo().free, device.properties().total_global_mem);
+}
+
+TEST(MnistModelTest, RunsUnderConVGpuWithAdequateLimit) {
+  SimClock clock;
+  SchedulerOptions options;
+  options.capacity = 5_GiB;
+  SchedulerCore core(options, &clock);
+  MnistConfig config;
+  config.train_steps = 20;
+  const Bytes limit = MnistDeviceFootprint(config) + 10_MiB;
+  ASSERT_TRUE(core.RegisterContainer("tf", limit).ok());
+
+  cudasim::GpuDevice device(0, cudasim::TeslaK20m());
+  cudasim::SimCudaApi inner(&device, 3);
+  DirectSchedulerLink link(&core, "tf");
+  WrapperCore wrapper(&inner, &link, 3);
+
+  const MnistReport report = RunMnistTraining(wrapper, config);
+  EXPECT_EQ(report.result, CudaError::kSuccess);
+  // Everything freed and reported to the scheduler.
+  EXPECT_EQ(core.StatsFor("tf")->used, 0);
+}
+
+TEST(MnistModelTest, RejectedWhenLimitTooSmall) {
+  SimClock clock;
+  SchedulerOptions options;
+  options.capacity = 5_GiB;
+  SchedulerCore core(options, &clock);
+  ASSERT_TRUE(core.RegisterContainer("tf", 32_MiB).ok());
+
+  cudasim::GpuDevice device(0, cudasim::TeslaK20m());
+  cudasim::SimCudaApi inner(&device, 3);
+  DirectSchedulerLink link(&core, "tf");
+  WrapperCore wrapper(&inner, &link, 3);
+
+  MnistConfig config;
+  config.train_steps = 5;
+  const MnistReport report = RunMnistTraining(wrapper, config);
+  EXPECT_EQ(report.result, CudaError::kMemoryAllocation);
+  EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+TEST(MnistModelTest, ModeledTimeScalesWithSteps) {
+  cudasim::GpuDevice device(0, cudasim::TeslaK20m());
+  cudasim::SimCudaApi api_a(&device, 11);
+  MnistConfig config;
+  config.train_steps = 10;
+  const MnistReport a = RunMnistTraining(api_a, config);
+  cudasim::SimCudaApi api_b(&device, 12);
+  config.train_steps = 40;
+  const MnistReport b = RunMnistTraining(api_b, config);
+  const double ratio = ToSeconds(b.modeled_gpu_time) / ToSeconds(a.modeled_gpu_time);
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace convgpu::workload

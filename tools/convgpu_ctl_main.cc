@@ -1,0 +1,86 @@
+// convgpu-ctl — query a running convgpu-scheduler.
+//
+// Usage:
+//   convgpu-ctl [--socket PATH] ping
+//   convgpu-ctl [--socket PATH] stats
+//   convgpu-ctl [--socket PATH] close <container-id>
+#include <cstdio>
+#include <string>
+
+#include "convgpu/protocol.h"
+#include "ipc/message_server.h"
+
+int main(int argc, char** argv) {
+  using namespace convgpu;
+
+  std::string socket_path = "/tmp/convgpu/scheduler.sock";
+  int argi = 1;
+  if (argi + 1 < argc && std::string(argv[argi]) == "--socket") {
+    socket_path = argv[argi + 1];
+    argi += 2;
+  }
+  if (argi >= argc) {
+    std::fprintf(stderr, "usage: convgpu-ctl [--socket PATH] ping|stats|close <id>\n");
+    return 2;
+  }
+  const std::string command = argv[argi++];
+
+  auto client = ipc::MessageClient::ConnectUnix(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot reach scheduler at %s: %s\n",
+                 socket_path.c_str(), client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "ping") {
+    auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+    if (!reply.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::puts("pong");
+    return 0;
+  }
+
+  if (command == "stats") {
+    auto raw = (*client)->Call(
+        protocol::Encode(protocol::Message(protocol::StatsRequest{})));
+    if (!raw.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n", raw.status().ToString().c_str());
+      return 1;
+    }
+    auto decoded = protocol::Decode(*raw);
+    if (!decoded.ok()) return 1;
+    const auto& stats = std::get<protocol::StatsReply>(*decoded);
+    std::printf("policy: %s   capacity: %s   free pool: %s\n",
+                stats.policy.c_str(), FormatByteSize(stats.capacity).c_str(),
+                FormatByteSize(stats.free_pool).c_str());
+    std::printf("%-16s %10s %10s %10s %6s %12s\n", "container", "limit",
+                "assigned", "used", "susp", "susp-total");
+    for (const auto& container : stats.containers) {
+      std::printf("%-16s %10s %10s %10s %6s %10.1fs\n",
+                  container.container_id.c_str(),
+                  FormatByteSize(container.limit).c_str(),
+                  FormatByteSize(container.assigned).c_str(),
+                  FormatByteSize(container.used).c_str(),
+                  container.suspended ? "yes" : "no",
+                  container.total_suspended_sec);
+    }
+    return 0;
+  }
+
+  if (command == "close" && argi < argc) {
+    protocol::ContainerClose close;
+    close.container_id = argv[argi];
+    auto status = (*client)->Send(protocol::Encode(protocol::Message(close)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "close failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("close signal sent for %s\n", close.container_id.c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,107 @@
+// convgpu-scheduler — the GPU memory scheduler daemon (paper §III-D).
+//
+// Usage:
+//   convgpu-scheduler [--base-dir DIR] [--capacity SIZE] [--policy NAME]
+//                     [--default-limit SIZE] [--wrapper-module PATH] [-v]
+//
+// Listens on <base-dir>/scheduler.sock for registrations (from nvdocker-sim
+// or any client speaking the JSON protocol) and serves one socket per
+// registered container under <base-dir>/containers/<id>/.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <semaphore.h>
+#include <string>
+
+#include "common/log.h"
+#include "convgpu/scheduler_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void PrintUsage() {
+  std::puts(
+      "convgpu-scheduler — ConVGPU GPU memory scheduler daemon\n"
+      "  --base-dir DIR        socket/state directory (default /tmp/convgpu)\n"
+      "  --capacity SIZE       schedulable GPU memory (default 5GiB, the K20m)\n"
+      "  --policy NAME         FIFO | BF | RU | Rand (default FIFO)\n"
+      "  --default-limit SIZE  limit when none is given (default 1GiB)\n"
+      "  --wrapper-module PATH libgpushare_preload.so to copy per container\n"
+      "  -v                    verbose logging");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace convgpu;
+
+  SchedulerServerOptions options;
+  options.base_dir = "/tmp/convgpu";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--base-dir") {
+      const char* value = next();
+      if (value == nullptr) return (PrintUsage(), 2);
+      options.base_dir = value;
+    } else if (arg == "--capacity") {
+      const char* value = next();
+      auto parsed = value != nullptr ? ParseByteSize(value) : std::nullopt;
+      if (!parsed) return (PrintUsage(), 2);
+      options.scheduler.capacity = *parsed;
+    } else if (arg == "--policy") {
+      const char* value = next();
+      if (value == nullptr || MakePolicy(value) == nullptr) {
+        std::fprintf(stderr, "unknown policy\n");
+        return 2;
+      }
+      options.scheduler.policy = value;
+    } else if (arg == "--default-limit") {
+      const char* value = next();
+      auto parsed = value != nullptr ? ParseByteSize(value) : std::nullopt;
+      if (!parsed) return (PrintUsage(), 2);
+      options.scheduler.default_limit = *parsed;
+    } else if (arg == "--wrapper-module") {
+      const char* value = next();
+      if (value == nullptr) return (PrintUsage(), 2);
+      options.wrapper_module_path = value;
+    } else if (arg == "-v") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (GetLogLevel() > LogLevel::kInfo) SetLogLevel(LogLevel::kInfo);
+
+  SchedulerServer server(std::move(options));
+  auto status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("convgpu-scheduler listening on %s (policy %.*s, capacity %s)\n",
+              server.main_socket_path().c_str(),
+              static_cast<int>(server.core().policy_name().size()),
+              server.core().policy_name().data(),
+              FormatByteSize(server.core().capacity()).c_str());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  std::puts("shutting down");
+  server.Stop();
+  return 0;
+}

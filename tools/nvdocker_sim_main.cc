@@ -1,0 +1,154 @@
+// nvdocker-sim — the customized nvidia-docker front-end as a CLI (paper
+// §III-B), driving real processes instead of Docker.
+//
+// Usage:
+//   nvdocker-sim [--socket PATH] [--preload LIB]
+//       run [--nvidia-memory=SIZE] [--name NAME] [-e K=V]... PROGRAM [ARGS...]
+//
+// Everything but `run` is passthrough (printed, since there is no real
+// docker behind the simulation). For `run` it performs the paper's exact
+// flow: register the "container" with the scheduler (limit from the option
+// or the 1 GiB default), receive the per-container directory + UNIX socket,
+// then exec PROGRAM with LD_PRELOAD pointing at the wrapper module and
+// CONVGPU_SOCKET at the container's socket — genuine dynamic-linker
+// interposition on a real process. When the program exits, the close
+// signal is sent, playing the role of the plugin's unmount detection.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "convgpu/protocol.h"
+#include "ipc/message_server.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "nvdocker-sim: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace convgpu;
+
+  std::string scheduler_socket = "/tmp/convgpu/scheduler.sock";
+  std::string preload_lib;  // empty => use the copy in the container dir
+  int argi = 1;
+  while (argi < argc) {
+    const std::string arg = argv[argi];
+    if (arg == "--socket" && argi + 1 < argc) {
+      scheduler_socket = argv[argi + 1];
+      argi += 2;
+    } else if (arg == "--preload" && argi + 1 < argc) {
+      preload_lib = argv[argi + 1];
+      argi += 2;
+    } else {
+      break;
+    }
+  }
+  if (argi >= argc) return Fail("no command; try: run PROGRAM");
+
+  const std::string command = argv[argi++];
+  if (command != "run" && command != "create") {
+    // Passthrough commands go to docker in the real system.
+    std::printf("passthrough to docker:");
+    for (int i = argi - 1; i < argc; ++i) std::printf(" %s", argv[i]);
+    std::printf("\n");
+    return 0;
+  }
+
+  // Option parsing for run.
+  std::optional<Bytes> limit;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> extra_env;
+  while (argi < argc) {
+    const std::string arg = argv[argi];
+    if (arg.rfind("--nvidia-memory=", 0) == 0) {
+      auto parsed = ParseByteSize(arg.substr(std::strlen("--nvidia-memory=")));
+      if (!parsed) return Fail("invalid --nvidia-memory");
+      limit = *parsed;
+      ++argi;
+    } else if (arg == "--nvidia-memory" && argi + 1 < argc) {
+      auto parsed = ParseByteSize(argv[argi + 1]);
+      if (!parsed) return Fail("invalid --nvidia-memory");
+      limit = *parsed;
+      argi += 2;
+    } else if (arg == "--name" && argi + 1 < argc) {
+      name = argv[argi + 1];
+      argi += 2;
+    } else if (arg == "-e" && argi + 1 < argc) {
+      const std::string pair = argv[argi + 1];
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) return Fail("-e expects K=V");
+      extra_env.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+      argi += 2;
+    } else if (arg[0] == '-') {
+      return Fail("unknown option: " + arg);
+    } else {
+      break;  // PROGRAM
+    }
+  }
+  if (argi >= argc) return Fail("run: program path required");
+  const std::string program = argv[argi];
+
+  if (name.empty()) name = "run-" + std::to_string(::getpid());
+
+  // 1. Register with the scheduler before "creating the container".
+  auto client = ipc::MessageClient::ConnectUnix(scheduler_socket);
+  if (!client.ok()) {
+    return Fail("cannot reach scheduler at " + scheduler_socket + ": " +
+                client.status().ToString());
+  }
+  protocol::RegisterContainer request;
+  request.container_id = name;
+  request.memory_limit = limit;
+  auto raw = (*client)->Call(protocol::Encode(protocol::Message(request)));
+  if (!raw.ok()) return Fail("register failed: " + raw.status().ToString());
+  auto decoded = protocol::Decode(*raw);
+  if (!decoded.ok()) return Fail("bad register reply");
+  const auto& reply = std::get<protocol::RegisterReply>(*decoded);
+  if (!reply.ok) return Fail("scheduler refused: " + reply.error);
+
+  const std::string wrapper =
+      !preload_lib.empty() ? preload_lib : reply.socket_dir + "/libgpushare.so";
+
+  // 2. Launch the user program with the interposition environment.
+  const pid_t child = ::fork();
+  if (child < 0) return Fail("fork failed");
+  if (child == 0) {
+    ::setenv("LD_PRELOAD", wrapper.c_str(), 1);
+    ::setenv("CONVGPU_SOCKET", reply.socket_path.c_str(), 1);
+    ::setenv("CONVGPU_CONTAINER_ID", name.c_str(), 1);
+    if (limit) {
+      ::setenv("CONVGPU_MEMORY_LIMIT", std::to_string(*limit).c_str(), 1);
+    }
+    for (const auto& [key, value] : extra_env) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+    std::vector<char*> child_argv;
+    for (int i = argi; i < argc; ++i) child_argv.push_back(argv[i]);
+    child_argv.push_back(nullptr);
+    ::execv(program.c_str(), child_argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+
+  int wait_status = 0;
+  ::waitpid(child, &wait_status, 0);
+  const int exit_code =
+      WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 128 + WTERMSIG(wait_status);
+
+  // 3. Container stopped: send the close signal (the plugin's job when the
+  //    dummy volume unmounts).
+  protocol::ContainerClose close;
+  close.container_id = name;
+  (void)(*client)->Send(protocol::Encode(protocol::Message(close)));
+
+  return exit_code;
+}
