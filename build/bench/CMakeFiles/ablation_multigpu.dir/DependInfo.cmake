@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_multigpu.cc" "bench/CMakeFiles/ablation_multigpu.dir/ablation_multigpu.cc.o" "gcc" "bench/CMakeFiles/ablation_multigpu.dir/ablation_multigpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/convgpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/convgpu/CMakeFiles/convgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/convgpu_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/containersim/CMakeFiles/convgpu_containersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/convgpu_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/convgpu_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/convgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

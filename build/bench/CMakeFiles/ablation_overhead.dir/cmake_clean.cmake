@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overhead.dir/ablation_overhead.cc.o"
+  "CMakeFiles/ablation_overhead.dir/ablation_overhead.cc.o.d"
+  "ablation_overhead"
+  "ablation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transport.dir/ablation_transport.cc.o"
+  "CMakeFiles/ablation_transport.dir/ablation_transport.cc.o.d"
+  "ablation_transport"
+  "ablation_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

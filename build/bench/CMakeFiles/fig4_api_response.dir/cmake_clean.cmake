@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_api_response.dir/fig4_api_response.cc.o"
+  "CMakeFiles/fig4_api_response.dir/fig4_api_response.cc.o.d"
+  "fig4_api_response"
+  "fig4_api_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_api_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

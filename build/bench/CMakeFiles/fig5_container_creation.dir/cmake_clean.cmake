@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_container_creation.dir/fig5_container_creation.cc.o"
+  "CMakeFiles/fig5_container_creation.dir/fig5_container_creation.cc.o.d"
+  "fig5_container_creation"
+  "fig5_container_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_container_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mnist_runtime.dir/fig6_mnist_runtime.cc.o"
+  "CMakeFiles/fig6_mnist_runtime.dir/fig6_mnist_runtime.cc.o.d"
+  "fig6_mnist_runtime"
+  "fig6_mnist_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mnist_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

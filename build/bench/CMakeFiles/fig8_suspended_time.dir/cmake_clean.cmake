@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_suspended_time.dir/fig8_suspended_time.cc.o"
+  "CMakeFiles/fig8_suspended_time.dir/fig8_suspended_time.cc.o.d"
+  "fig8_suspended_time"
+  "fig8_suspended_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_suspended_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_sim.dir/cloud_sim.cpp.o"
+  "CMakeFiles/cloud_sim.dir/cloud_sim.cpp.o.d"
+  "cloud_sim"
+  "cloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

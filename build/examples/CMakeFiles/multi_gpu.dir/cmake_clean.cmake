@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu.dir/multi_gpu.cpp.o"
+  "CMakeFiles/multi_gpu.dir/multi_gpu.cpp.o.d"
+  "multi_gpu"
+  "multi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

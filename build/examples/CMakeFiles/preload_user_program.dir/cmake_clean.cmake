@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_user_program.dir/preload_user_program.cc.o"
+  "CMakeFiles/preload_user_program.dir/preload_user_program.cc.o.d"
+  "preload_user_program"
+  "preload_user_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_user_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

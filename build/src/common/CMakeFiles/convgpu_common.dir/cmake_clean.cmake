@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu_common.dir/bytes.cc.o"
+  "CMakeFiles/convgpu_common.dir/bytes.cc.o.d"
+  "CMakeFiles/convgpu_common.dir/clock.cc.o"
+  "CMakeFiles/convgpu_common.dir/clock.cc.o.d"
+  "CMakeFiles/convgpu_common.dir/ids.cc.o"
+  "CMakeFiles/convgpu_common.dir/ids.cc.o.d"
+  "CMakeFiles/convgpu_common.dir/log.cc.o"
+  "CMakeFiles/convgpu_common.dir/log.cc.o.d"
+  "CMakeFiles/convgpu_common.dir/result.cc.o"
+  "CMakeFiles/convgpu_common.dir/result.cc.o.d"
+  "libconvgpu_common.a"
+  "libconvgpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

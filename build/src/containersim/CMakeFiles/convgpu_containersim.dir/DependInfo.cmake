@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containersim/cgroup.cc" "src/containersim/CMakeFiles/convgpu_containersim.dir/cgroup.cc.o" "gcc" "src/containersim/CMakeFiles/convgpu_containersim.dir/cgroup.cc.o.d"
+  "/root/repo/src/containersim/engine.cc" "src/containersim/CMakeFiles/convgpu_containersim.dir/engine.cc.o" "gcc" "src/containersim/CMakeFiles/convgpu_containersim.dir/engine.cc.o.d"
+  "/root/repo/src/containersim/image.cc" "src/containersim/CMakeFiles/convgpu_containersim.dir/image.cc.o" "gcc" "src/containersim/CMakeFiles/convgpu_containersim.dir/image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

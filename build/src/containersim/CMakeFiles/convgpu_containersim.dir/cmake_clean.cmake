@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu_containersim.dir/cgroup.cc.o"
+  "CMakeFiles/convgpu_containersim.dir/cgroup.cc.o.d"
+  "CMakeFiles/convgpu_containersim.dir/engine.cc.o"
+  "CMakeFiles/convgpu_containersim.dir/engine.cc.o.d"
+  "CMakeFiles/convgpu_containersim.dir/image.cc.o"
+  "CMakeFiles/convgpu_containersim.dir/image.cc.o.d"
+  "libconvgpu_containersim.a"
+  "libconvgpu_containersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu_containersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

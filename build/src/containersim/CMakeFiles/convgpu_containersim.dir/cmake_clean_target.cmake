@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconvgpu_containersim.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for convgpu_containersim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/convgpu/cluster.cc" "src/convgpu/CMakeFiles/convgpu.dir/cluster.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/cluster.cc.o.d"
+  "/root/repo/src/convgpu/ledger.cc" "src/convgpu/CMakeFiles/convgpu.dir/ledger.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/ledger.cc.o.d"
+  "/root/repo/src/convgpu/multigpu.cc" "src/convgpu/CMakeFiles/convgpu.dir/multigpu.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/multigpu.cc.o.d"
+  "/root/repo/src/convgpu/nvdocker.cc" "src/convgpu/CMakeFiles/convgpu.dir/nvdocker.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/nvdocker.cc.o.d"
+  "/root/repo/src/convgpu/plugin.cc" "src/convgpu/CMakeFiles/convgpu.dir/plugin.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/plugin.cc.o.d"
+  "/root/repo/src/convgpu/policy.cc" "src/convgpu/CMakeFiles/convgpu.dir/policy.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/policy.cc.o.d"
+  "/root/repo/src/convgpu/protocol.cc" "src/convgpu/CMakeFiles/convgpu.dir/protocol.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/protocol.cc.o.d"
+  "/root/repo/src/convgpu/scheduler_core.cc" "src/convgpu/CMakeFiles/convgpu.dir/scheduler_core.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/scheduler_core.cc.o.d"
+  "/root/repo/src/convgpu/scheduler_link.cc" "src/convgpu/CMakeFiles/convgpu.dir/scheduler_link.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/scheduler_link.cc.o.d"
+  "/root/repo/src/convgpu/scheduler_server.cc" "src/convgpu/CMakeFiles/convgpu.dir/scheduler_server.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/scheduler_server.cc.o.d"
+  "/root/repo/src/convgpu/wrapper_core.cc" "src/convgpu/CMakeFiles/convgpu.dir/wrapper_core.cc.o" "gcc" "src/convgpu/CMakeFiles/convgpu.dir/wrapper_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/convgpu_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/convgpu_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/containersim/CMakeFiles/convgpu_containersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/convgpu_cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu.dir/cluster.cc.o"
+  "CMakeFiles/convgpu.dir/cluster.cc.o.d"
+  "CMakeFiles/convgpu.dir/ledger.cc.o"
+  "CMakeFiles/convgpu.dir/ledger.cc.o.d"
+  "CMakeFiles/convgpu.dir/multigpu.cc.o"
+  "CMakeFiles/convgpu.dir/multigpu.cc.o.d"
+  "CMakeFiles/convgpu.dir/nvdocker.cc.o"
+  "CMakeFiles/convgpu.dir/nvdocker.cc.o.d"
+  "CMakeFiles/convgpu.dir/plugin.cc.o"
+  "CMakeFiles/convgpu.dir/plugin.cc.o.d"
+  "CMakeFiles/convgpu.dir/policy.cc.o"
+  "CMakeFiles/convgpu.dir/policy.cc.o.d"
+  "CMakeFiles/convgpu.dir/protocol.cc.o"
+  "CMakeFiles/convgpu.dir/protocol.cc.o.d"
+  "CMakeFiles/convgpu.dir/scheduler_core.cc.o"
+  "CMakeFiles/convgpu.dir/scheduler_core.cc.o.d"
+  "CMakeFiles/convgpu.dir/scheduler_link.cc.o"
+  "CMakeFiles/convgpu.dir/scheduler_link.cc.o.d"
+  "CMakeFiles/convgpu.dir/scheduler_server.cc.o"
+  "CMakeFiles/convgpu.dir/scheduler_server.cc.o.d"
+  "CMakeFiles/convgpu.dir/wrapper_core.cc.o"
+  "CMakeFiles/convgpu.dir/wrapper_core.cc.o.d"
+  "libconvgpu.a"
+  "libconvgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for convgpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpushare_preload.dir/gpushare_preload.cc.o"
+  "CMakeFiles/gpushare_preload.dir/gpushare_preload.cc.o.d"
+  "libgpushare_preload.pdb"
+  "libgpushare_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpushare_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/builtin_kernels.cc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/builtin_kernels.cc.o" "gcc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/builtin_kernels.cc.o.d"
+  "/root/repo/src/cudasim/gpu_device.cc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/gpu_device.cc.o" "gcc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/gpu_device.cc.o.d"
+  "/root/repo/src/cudasim/kernel_engine.cc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/kernel_engine.cc.o" "gcc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/kernel_engine.cc.o.d"
+  "/root/repo/src/cudasim/mem_allocator.cc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/mem_allocator.cc.o" "gcc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/mem_allocator.cc.o.d"
+  "/root/repo/src/cudasim/sim_cuda_api.cc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/sim_cuda_api.cc.o" "gcc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/sim_cuda_api.cc.o.d"
+  "/root/repo/src/cudasim/types.cc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/types.cc.o" "gcc" "src/cudasim/CMakeFiles/convgpu_cudasim.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

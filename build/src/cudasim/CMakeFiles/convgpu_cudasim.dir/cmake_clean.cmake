@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu_cudasim.dir/builtin_kernels.cc.o"
+  "CMakeFiles/convgpu_cudasim.dir/builtin_kernels.cc.o.d"
+  "CMakeFiles/convgpu_cudasim.dir/gpu_device.cc.o"
+  "CMakeFiles/convgpu_cudasim.dir/gpu_device.cc.o.d"
+  "CMakeFiles/convgpu_cudasim.dir/kernel_engine.cc.o"
+  "CMakeFiles/convgpu_cudasim.dir/kernel_engine.cc.o.d"
+  "CMakeFiles/convgpu_cudasim.dir/mem_allocator.cc.o"
+  "CMakeFiles/convgpu_cudasim.dir/mem_allocator.cc.o.d"
+  "CMakeFiles/convgpu_cudasim.dir/sim_cuda_api.cc.o"
+  "CMakeFiles/convgpu_cudasim.dir/sim_cuda_api.cc.o.d"
+  "CMakeFiles/convgpu_cudasim.dir/types.cc.o"
+  "CMakeFiles/convgpu_cudasim.dir/types.cc.o.d"
+  "libconvgpu_cudasim.a"
+  "libconvgpu_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

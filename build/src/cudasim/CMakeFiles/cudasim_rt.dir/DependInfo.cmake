@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/cudart_impl.cc" "src/cudasim/CMakeFiles/cudasim_rt.dir/cudart_impl.cc.o" "gcc" "src/cudasim/CMakeFiles/cudasim_rt.dir/cudart_impl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/convgpu_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/convgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudasim_rt.dir/cudart_impl.cc.o"
+  "CMakeFiles/cudasim_rt.dir/cudart_impl.cc.o.d"
+  "libcudasim_rt.pdb"
+  "libcudasim_rt.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudasim_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

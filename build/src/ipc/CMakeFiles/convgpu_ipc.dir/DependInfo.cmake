@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/framing.cc" "src/ipc/CMakeFiles/convgpu_ipc.dir/framing.cc.o" "gcc" "src/ipc/CMakeFiles/convgpu_ipc.dir/framing.cc.o.d"
+  "/root/repo/src/ipc/message_server.cc" "src/ipc/CMakeFiles/convgpu_ipc.dir/message_server.cc.o" "gcc" "src/ipc/CMakeFiles/convgpu_ipc.dir/message_server.cc.o.d"
+  "/root/repo/src/ipc/socket.cc" "src/ipc/CMakeFiles/convgpu_ipc.dir/socket.cc.o" "gcc" "src/ipc/CMakeFiles/convgpu_ipc.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/convgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/convgpu_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

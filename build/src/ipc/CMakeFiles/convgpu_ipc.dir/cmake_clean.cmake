@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu_ipc.dir/framing.cc.o"
+  "CMakeFiles/convgpu_ipc.dir/framing.cc.o.d"
+  "CMakeFiles/convgpu_ipc.dir/message_server.cc.o"
+  "CMakeFiles/convgpu_ipc.dir/message_server.cc.o.d"
+  "CMakeFiles/convgpu_ipc.dir/socket.cc.o"
+  "CMakeFiles/convgpu_ipc.dir/socket.cc.o.d"
+  "libconvgpu_ipc.a"
+  "libconvgpu_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu_json.dir/json.cc.o"
+  "CMakeFiles/convgpu_json.dir/json.cc.o.d"
+  "libconvgpu_json.a"
+  "libconvgpu_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

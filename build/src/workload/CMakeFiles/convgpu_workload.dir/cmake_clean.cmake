@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu_workload.dir/container_types.cc.o"
+  "CMakeFiles/convgpu_workload.dir/container_types.cc.o.d"
+  "CMakeFiles/convgpu_workload.dir/des.cc.o"
+  "CMakeFiles/convgpu_workload.dir/des.cc.o.d"
+  "CMakeFiles/convgpu_workload.dir/mnist_model.cc.o"
+  "CMakeFiles/convgpu_workload.dir/mnist_model.cc.o.d"
+  "CMakeFiles/convgpu_workload.dir/sample_program.cc.o"
+  "CMakeFiles/convgpu_workload.dir/sample_program.cc.o.d"
+  "libconvgpu_workload.a"
+  "libconvgpu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

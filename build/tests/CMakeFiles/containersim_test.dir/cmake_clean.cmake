@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containersim_test.dir/containersim_test.cc.o"
+  "CMakeFiles/containersim_test.dir/containersim_test.cc.o.d"
+  "containersim_test"
+  "containersim_test.pdb"
+  "containersim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containersim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

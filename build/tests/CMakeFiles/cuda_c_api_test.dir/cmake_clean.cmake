@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_c_api_test.dir/cuda_c_api_test.cc.o"
+  "CMakeFiles/cuda_c_api_test.dir/cuda_c_api_test.cc.o.d"
+  "cuda_c_api_test"
+  "cuda_c_api_test.pdb"
+  "cuda_c_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_c_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

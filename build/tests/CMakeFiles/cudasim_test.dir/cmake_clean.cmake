@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudasim_test.dir/cudasim_test.cc.o"
+  "CMakeFiles/cudasim_test.dir/cudasim_test.cc.o.d"
+  "cudasim_test"
+  "cudasim_test.pdb"
+  "cudasim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudasim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

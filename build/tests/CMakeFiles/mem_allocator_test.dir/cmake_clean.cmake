@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_allocator_test.dir/mem_allocator_test.cc.o"
+  "CMakeFiles/mem_allocator_test.dir/mem_allocator_test.cc.o.d"
+  "mem_allocator_test"
+  "mem_allocator_test.pdb"
+  "mem_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

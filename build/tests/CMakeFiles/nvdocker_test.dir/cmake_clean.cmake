@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdocker_test.dir/nvdocker_test.cc.o"
+  "CMakeFiles/nvdocker_test.dir/nvdocker_test.cc.o.d"
+  "nvdocker_test"
+  "nvdocker_test.pdb"
+  "nvdocker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdocker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

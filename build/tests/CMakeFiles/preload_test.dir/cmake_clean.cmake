@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_test.dir/preload_test.cc.o"
+  "CMakeFiles/preload_test.dir/preload_test.cc.o.d"
+  "preload_test"
+  "preload_test.pdb"
+  "preload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

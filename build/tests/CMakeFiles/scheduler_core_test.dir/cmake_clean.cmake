@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_core_test.dir/scheduler_core_test.cc.o"
+  "CMakeFiles/scheduler_core_test.dir/scheduler_core_test.cc.o.d"
+  "scheduler_core_test"
+  "scheduler_core_test.pdb"
+  "scheduler_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_server_test.dir/scheduler_server_test.cc.o"
+  "CMakeFiles/scheduler_server_test.dir/scheduler_server_test.cc.o.d"
+  "scheduler_server_test"
+  "scheduler_server_test.pdb"
+  "scheduler_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_core_test.dir/wrapper_core_test.cc.o"
+  "CMakeFiles/wrapper_core_test.dir/wrapper_core_test.cc.o.d"
+  "wrapper_core_test"
+  "wrapper_core_test.pdb"
+  "wrapper_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bytes_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/cudasim_test[1]_include.cmake")
+include("/root/repo/build/tests/containersim_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_core_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/wrapper_core_test[1]_include.cmake")
+include("/root/repo/build/tests/nvdocker_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_server_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/multigpu_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/preload_test[1]_include.cmake")
+include("/root/repo/build/tests/cuda_c_api_test[1]_include.cmake")

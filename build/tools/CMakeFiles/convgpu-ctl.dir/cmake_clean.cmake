@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu-ctl.dir/convgpu_ctl_main.cc.o"
+  "CMakeFiles/convgpu-ctl.dir/convgpu_ctl_main.cc.o.d"
+  "convgpu-ctl"
+  "convgpu-ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu-ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

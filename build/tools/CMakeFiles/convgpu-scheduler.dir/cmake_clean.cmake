@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convgpu-scheduler.dir/convgpu_scheduler_main.cc.o"
+  "CMakeFiles/convgpu-scheduler.dir/convgpu_scheduler_main.cc.o.d"
+  "convgpu-scheduler"
+  "convgpu-scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convgpu-scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdocker-sim.dir/nvdocker_sim_main.cc.o"
+  "CMakeFiles/nvdocker-sim.dir/nvdocker_sim_main.cc.o.d"
+  "nvdocker-sim"
+  "nvdocker-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdocker-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
