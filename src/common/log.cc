@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
 
 namespace convgpu {
 namespace {
 
-std::mutex g_sink_mutex;
-LogSink g_sink;  // empty => default stderr sink
+Mutex g_sink_mutex;
+LogSink g_sink GUARDED_BY(g_sink_mutex);  // empty => default stderr sink
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 void DefaultSink(LogLevel level, std::string_view tag, std::string_view msg) {
@@ -40,7 +41,7 @@ std::string_view LogLevelName(LogLevel level) {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   std::swap(g_sink, sink);
   return sink;
 }
@@ -51,7 +52,7 @@ LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, std::string_view tag, std::string_view msg) {
   if (level < GetLogLevel()) return;
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, tag, msg);
   } else {

@@ -1,0 +1,74 @@
+// Annotated mutex types for the Clang thread-safety analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no capability
+// attributes, so code locking through them is invisible to Clang's
+// -Wthread-safety analysis and every GUARDED_BY access would warn. These
+// thin wrappers put the attributes in place; they compile to exactly the
+// std::mutex operations (no extra state beyond MutexLock's owns flag,
+// which std::unique_lock also carries).
+//
+// Usage:
+//   mutable Mutex mutex_;
+//   int value_ GUARDED_BY(mutex_);
+//   void Touch() { MutexLock lock(mutex_); ++value_; }
+//
+// MutexLock supports Unlock()/Lock() for the rare drop-the-lock-around-a-
+// callback pattern (see containersim::Engine::Start); Clang tracks the
+// scoped capability's state through those calls.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace convgpu {
+
+/// std::mutex with the Clang `capability` attribute. Satisfies Lockable,
+/// so std::condition_variable_any and std::scoped_lock still work —
+/// but prefer MutexLock, which the analysis understands.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex (std::lock_guard with capability attributes plus
+/// std::unique_lock's unlock/relock).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drops the lock early (e.g. around a re-entrant plugin callback).
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    owns_ = false;
+  }
+
+  /// Re-acquires after Unlock().
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+
+  [[nodiscard]] bool owns_lock() const { return owns_; }
+
+ private:
+  Mutex& mu_;
+  bool owns_ = true;
+};
+
+}  // namespace convgpu

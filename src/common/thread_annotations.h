@@ -1,0 +1,74 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// Under Clang with -Wthread-safety these expand to attributes that let the
+// compiler statically verify the locking discipline: every field that a
+// mutex protects is declared GUARDED_BY that mutex, every *Locked() helper
+// is declared REQUIRES it, and the analysis rejects any access path that
+// does not provably hold the lock. Under GCC (which has no such analysis)
+// everything expands to nothing, so the annotations are free.
+//
+// Policy (see DESIGN.md §7): a new mutex may not land without GUARDED_BY
+// annotations on the fields it protects; tools/check.sh runs the Clang leg
+// with -Werror so a missing or wrong annotation fails the build.
+//
+// The macro set follows the vocabulary of the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CONVGPU_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CONVGPU_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) CONVGPU_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY CONVGPU_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a field may only be read or written while holding the
+/// given capability.
+#define GUARDED_BY(x) CONVGPU_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer itself) is guarded.
+#define PT_GUARDED_BY(x) CONVGPU_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that callers must hold the capability before calling.
+#define REQUIRES(...) \
+  CONVGPU_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CONVGPU_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires / releases the capability.
+#define ACQUIRE(...) CONVGPU_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CONVGPU_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) CONVGPU_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CONVGPU_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Declares that the function tries to acquire and reports success as
+/// `result` (first argument).
+#define TRY_ACQUIRE(...) \
+  CONVGPU_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the capability (deadlock guard for
+/// public entry points that take the lock themselves).
+#define EXCLUDES(...) CONVGPU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order (deadlock prevention).
+#define ACQUIRED_BEFORE(...) \
+  CONVGPU_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CONVGPU_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the capability.
+#define RETURN_CAPABILITY(x) CONVGPU_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis of one function body. The declaration's
+/// REQUIRES/ACQUIRE contracts are still enforced at call sites. Use only
+/// with a comment explaining why the analysis cannot follow the code.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CONVGPU_THREAD_ANNOTATION(no_thread_safety_analysis)

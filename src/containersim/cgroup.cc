@@ -4,7 +4,7 @@ namespace convgpu::containersim {
 
 Status CgroupController::CreateGroup(const std::string& container_id,
                                      CgroupLimits limits) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = groups_.emplace(container_id, Group{limits, {}});
   (void)it;
   if (!inserted) {
@@ -14,7 +14,7 @@ Status CgroupController::CreateGroup(const std::string& container_id,
 }
 
 Status CgroupController::RemoveGroup(const std::string& container_id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (groups_.erase(container_id) == 0) {
     return NotFoundError("no cgroup: " + container_id);
   }
@@ -23,7 +23,7 @@ Status CgroupController::RemoveGroup(const std::string& container_id) {
 
 Status CgroupController::ChargeMemory(const std::string& container_id,
                                       Bytes bytes) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = groups_.find(container_id);
   if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
   if (bytes < 0) return InvalidArgumentError("negative memory charge");
@@ -39,7 +39,7 @@ Status CgroupController::ChargeMemory(const std::string& container_id,
 
 Status CgroupController::UnchargeMemory(const std::string& container_id,
                                         Bytes bytes) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = groups_.find(container_id);
   if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
   if (bytes < 0 || bytes > it->second.usage.memory_used) {
@@ -50,21 +50,21 @@ Status CgroupController::UnchargeMemory(const std::string& container_id,
 }
 
 Result<CgroupUsage> CgroupController::Usage(const std::string& container_id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = groups_.find(container_id);
   if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
   return it->second.usage;
 }
 
 Result<CgroupLimits> CgroupController::Limits(const std::string& container_id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = groups_.find(container_id);
   if (it == groups_.end()) return NotFoundError("no cgroup: " + container_id);
   return it->second.limits;
 }
 
 int CgroupController::TotalVcpus() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   int total = 0;
   for (const auto& [id, group] : groups_) total += group.limits.vcpus;
   return total;

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace convgpu::containersim {
@@ -47,8 +47,8 @@ class CgroupController {
     CgroupUsage usage;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Group> groups_;
+  mutable Mutex mutex_;
+  std::map<std::string, Group> groups_ GUARDED_BY(mutex_);
 };
 
 }  // namespace convgpu::containersim

@@ -1,6 +1,6 @@
 #include "containersim/engine.h"
 
-#include <condition_variable>
+#include <future>
 
 #include "common/log.h"
 
@@ -50,7 +50,7 @@ Engine::~Engine() {
   // Request stop on everything still running, then join.
   std::vector<std::string> ids;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [id, record] : records_) {
       if (record->info.state == ContainerState::kRunning && record->context) {
         record->context->RequestStop();
@@ -66,7 +66,7 @@ TimePoint Engine::Now() const { return clock_->Now(); }
 void Engine::Emit(const ContainerEvent& event) {
   std::vector<EventCallback> subscribers;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     subscribers = subscribers_;
   }
   for (const auto& callback : subscribers) callback(event);
@@ -109,7 +109,7 @@ Result<std::string> Engine::Create(ContainerSpec spec) {
   record->spec = std::move(spec);
 
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     records_.emplace(id, std::move(record));
   }
   Emit({EventType::kCreate, id, "", Now()});
@@ -120,9 +120,46 @@ Status Engine::Start(const std::string& id) {
   std::shared_ptr<ContainerContext> context;
   Entrypoint entrypoint;
   std::vector<std::pair<std::string, std::string>> mounted;  // volume, source
+  // Released only after the kStart event is emitted, so a fast entrypoint
+  // cannot emit kDie before kStart.
+  std::shared_ptr<std::promise<void>> start_gate;
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     auto record = FindLocked(id);
+    if (!record.ok()) return record.status();
+    if ((*record)->info.state != ContainerState::kCreated) {
+      return FailedPreconditionError(
+          "container " + id + " is " +
+          std::string(ContainerStateName((*record)->info.state)) +
+          ", cannot start");
+    }
+
+    // Resolve plugin-driven mounts. Plugins may call back into the engine,
+    // so the lock is dropped around each Mount() — which means the record
+    // may be removed concurrently; it is re-found afterwards rather than
+    // held across the unlocked window.
+    const std::vector<Mount> spec_mounts = (*record)->spec.mounts;
+    std::vector<Mount> resolved_mounts;
+    resolved_mounts.reserve(spec_mounts.size());
+    for (const Mount& mount : spec_mounts) {
+      Mount resolved = mount;
+      if (!mount.driver.empty()) {
+        auto plugin_it = plugins_.find(mount.driver);
+        if (plugin_it == plugins_.end()) {
+          return NotFoundError("no volume plugin: " + mount.driver);
+        }
+        VolumePlugin* plugin = plugin_it->second;
+        lock.Unlock();
+        auto source = plugin->Mount(mount.source, id);
+        lock.Lock();
+        if (!source.ok()) return source.status();
+        resolved.source = *source;
+        mounted.emplace_back(mount.source, *source);
+      }
+      resolved_mounts.push_back(std::move(resolved));
+    }
+
+    record = FindLocked(id);
     if (!record.ok()) return record.status();
     Record& r = **record;
     if (r.info.state != ContainerState::kCreated) {
@@ -131,26 +168,7 @@ Status Engine::Start(const std::string& id) {
           std::string(ContainerStateName(r.info.state)) + ", cannot start");
     }
 
-    // Resolve plugin-driven mounts.
-    r.resolved_mounts.clear();
-    for (const Mount& mount : r.spec.mounts) {
-      Mount resolved = mount;
-      if (!mount.driver.empty()) {
-        auto plugin_it = plugins_.find(mount.driver);
-        if (plugin_it == plugins_.end()) {
-          return NotFoundError("no volume plugin: " + mount.driver);
-        }
-        // Plugins may call back into the engine; drop the lock around them.
-        lock.unlock();
-        auto source = plugin_it->second->Mount(mount.source, id);
-        lock.lock();
-        if (!source.ok()) return source.status();
-        resolved.source = *source;
-        mounted.emplace_back(mount.source, *source);
-      }
-      r.resolved_mounts.push_back(std::move(resolved));
-    }
-
+    r.resolved_mounts = std::move(resolved_mounts);
     r.info.mounts = r.resolved_mounts;
     r.info.state = ContainerState::kRunning;
     r.info.started_at = Now();
@@ -160,9 +178,11 @@ Status Engine::Start(const std::string& id) {
     entrypoint = r.spec.entrypoint;
 
     if (entrypoint) {
-      r.thread = std::thread([this, id, context, entrypoint] {
-        int code = 0;
-        code = entrypoint(*context);
+      start_gate = std::make_shared<std::promise<void>>();
+      std::shared_future<void> started(start_gate->get_future());
+      r.thread = std::thread([this, id, context, entrypoint, started] {
+        started.wait();
+        const int code = entrypoint(*context);
         (void)MarkExited(id, code);
       });
     }
@@ -172,54 +192,57 @@ Status Engine::Start(const std::string& id) {
     Emit({EventType::kVolumeMount, id, volume, Now()});
   }
   Emit({EventType::kStart, id, "", Now()});
+  if (start_gate) start_gate->set_value();
   CONVGPU_LOG(kDebug, kTag) << "started container " << id;
   return Status::Ok();
 }
 
-void Engine::FinishLocked(std::unique_lock<std::mutex>& lock, Record& record,
-                          int exit_code) {
+Engine::ExitActions Engine::FinishLocked(Record& record, int exit_code) {
   record.info.state = ContainerState::kExited;
   record.info.exit_code = exit_code;
   record.info.finished_at = Now();
   record.thread_done = true;
 
-  const std::string id = record.info.id;
+  ExitActions actions;
+  actions.id = record.info.id;
+  actions.exit_code = exit_code;
   // Unmount plugin volumes — this is what lets nvidia-docker-plugin see the
-  // container die.
-  std::vector<std::pair<VolumePlugin*, std::string>> unmounts;
+  // container die. The plugins may call back into the engine, so the
+  // caller executes the unmounts after releasing the lock.
   for (const Mount& mount : record.spec.mounts) {
     if (mount.driver.empty()) continue;
     auto plugin_it = plugins_.find(mount.driver);
     if (plugin_it != plugins_.end()) {
-      unmounts.emplace_back(plugin_it->second, mount.source);
+      actions.unmounts.emplace_back(plugin_it->second, mount.source);
     }
   }
-
-  lock.unlock();
-  Emit({EventType::kDie, id, std::to_string(exit_code), Now()});
-  for (auto& [plugin, volume] : unmounts) {
-    plugin->Unmount(volume, id);
-    Emit({EventType::kVolumeUnmount, id, volume, Now()});
-  }
-  lock.lock();
+  return actions;
 }
 
 Status Engine::MarkExited(const std::string& id, int exit_code) {
-  std::unique_lock lock(mutex_);
-  auto record = FindLocked(id);
-  if (!record.ok()) return record.status();
-  Record& r = **record;
-  if (r.info.state != ContainerState::kRunning) {
-    return FailedPreconditionError("container " + id + " is not running");
+  ExitActions actions;
+  {
+    MutexLock lock(mutex_);
+    auto record = FindLocked(id);
+    if (!record.ok()) return record.status();
+    Record& r = **record;
+    if (r.info.state != ContainerState::kRunning) {
+      return FailedPreconditionError("container " + id + " is not running");
+    }
+    actions = FinishLocked(r, exit_code);
   }
-  FinishLocked(lock, r, exit_code);
+  Emit({EventType::kDie, actions.id, std::to_string(actions.exit_code), Now()});
+  for (auto& [plugin, volume] : actions.unmounts) {
+    plugin->Unmount(volume, actions.id);
+    Emit({EventType::kVolumeUnmount, actions.id, volume, Now()});
+  }
   return Status::Ok();
 }
 
 Status Engine::JoinThread(const std::string& id) {
   std::thread to_join;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = records_.find(id);
     if (it == records_.end()) return NotFoundError("no such container: " + id);
     if (it->second->thread.joinable()) {
@@ -232,7 +255,7 @@ Status Engine::JoinThread(const std::string& id) {
 
 Status Engine::Stop(const std::string& id) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto record = FindLocked(id);
     if (!record.ok()) return record.status();
     Record& r = **record;
@@ -252,7 +275,7 @@ Status Engine::Stop(const std::string& id) {
 
 Result<int> Engine::Wait(const std::string& id) {
   CONVGPU_RETURN_IF_ERROR(JoinThread(id));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto record = FindLocked(id);
   if (!record.ok()) return record.status();
   if ((*record)->info.state != ContainerState::kExited) {
@@ -264,7 +287,7 @@ Result<int> Engine::Wait(const std::string& id) {
 Status Engine::Remove(const std::string& id) {
   CONVGPU_RETURN_IF_ERROR(JoinThread(id));
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto record = FindLocked(id);
     if (!record.ok()) return record.status();
     if ((*record)->info.state == ContainerState::kRunning) {
@@ -278,14 +301,14 @@ Status Engine::Remove(const std::string& id) {
 }
 
 Result<ContainerInfo> Engine::Inspect(const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(id);
   if (it == records_.end()) return NotFoundError("no such container: " + id);
   return it->second->info;
 }
 
 std::vector<ContainerInfo> Engine::List() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<ContainerInfo> result;
   result.reserve(records_.size());
   for (const auto& [id, record] : records_) result.push_back(record->info);
@@ -293,7 +316,7 @@ std::vector<ContainerInfo> Engine::List() const {
 }
 
 std::size_t Engine::running_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const auto& [id, record] : records_) {
     if (record->info.state == ContainerState::kRunning) ++count;
@@ -303,7 +326,7 @@ std::size_t Engine::running_count() const {
 
 Result<std::shared_ptr<ContainerContext>> Engine::Context(
     const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = records_.find(id);
   if (it == records_.end()) return NotFoundError("no such container: " + id);
   if (!it->second->context) {
@@ -313,12 +336,12 @@ Result<std::shared_ptr<ContainerContext>> Engine::Context(
 }
 
 void Engine::Subscribe(EventCallback callback) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   subscribers_.push_back(std::move(callback));
 }
 
 void Engine::RegisterVolumePlugin(const std::string& driver, VolumePlugin* plugin) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   plugins_[driver] = plugin;
 }
 

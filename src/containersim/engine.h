@@ -12,13 +12,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "containersim/cgroup.h"
 #include "containersim/container.h"
@@ -89,12 +89,21 @@ class Engine {
     std::vector<Mount> resolved_mounts;
   };
 
+  /// What the common exit path must do after releasing the lock: plugin
+  /// unmounts plus the kDie/kVolumeUnmount events. Computed by FinishLocked
+  /// under the lock, executed by the caller with the lock released (plugins
+  /// may call back into the engine).
+  struct ExitActions {
+    std::string id;
+    int exit_code = 0;
+    std::vector<std::pair<VolumePlugin*, std::string>> unmounts;
+  };
+
   [[nodiscard]] TimePoint Now() const;
   void Emit(const ContainerEvent& event);
-  /// Common exit path: state transition, unmounts, kDie + unmount events.
-  void FinishLocked(std::unique_lock<std::mutex>& lock, Record& record,
-                    int exit_code);
-  Result<Record*> FindLocked(const std::string& id);
+  /// Common exit path: pure state transition; returns the deferred actions.
+  ExitActions FinishLocked(Record& record, int exit_code) REQUIRES(mutex_);
+  Result<Record*> FindLocked(const std::string& id) REQUIRES(mutex_);
   Status JoinThread(const std::string& id);
 
   const Clock* clock_;
@@ -103,10 +112,10 @@ class Engine {
   IdGenerator pid_gen_;
   IdGenerator id_gen_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Record>> records_;
-  std::vector<EventCallback> subscribers_;
-  std::map<std::string, VolumePlugin*> plugins_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Record>> records_ GUARDED_BY(mutex_);
+  std::vector<EventCallback> subscribers_ GUARDED_BY(mutex_);
+  std::map<std::string, VolumePlugin*> plugins_ GUARDED_BY(mutex_);
 };
 
 }  // namespace convgpu::containersim

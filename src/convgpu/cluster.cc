@@ -18,16 +18,17 @@ ClusterScheduler::ClusterScheduler(const std::vector<NodeSpec>& nodes,
     nodes_.push_back(Node{
         spec.name,
         std::make_unique<MultiGpuScheduler>(spec.devices, base,
-                                            device_placement, clock),
-        0});
+                                            device_placement, clock)});
   }
+  MutexLock lock(mutex_);
+  placed_.assign(nodes_.size(), 0);
 }
 
 Result<ClusterScheduler::Placement> ClusterScheduler::RegisterContainer(
     const std::string& id, std::optional<Bytes> limit) {
   std::size_t chosen = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (node_of_.contains(id)) {
       return AlreadyExistsError("container already placed: " + id);
     }
@@ -46,7 +47,7 @@ Result<ClusterScheduler::Placement> ClusterScheduler::RegisterContainer(
       }
       const Bytes best_free = nodes_[*best].scheduler->total_free_pool();
       if (free < best_free ||
-          (free == best_free && nodes_[i].placed < nodes_[*best].placed)) {
+          (free == best_free && placed_[i] < placed_[*best])) {
         best = i;
       }
     }
@@ -64,14 +65,14 @@ Result<ClusterScheduler::Placement> ClusterScheduler::RegisterContainer(
     }
     chosen = *best;
     node_of_[id] = chosen;
-    ++nodes_[chosen].placed;
+    ++placed_[chosen];
   }
 
   auto device = nodes_[chosen].scheduler->RegisterContainer(id, limit);
   if (!device.ok()) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     node_of_.erase(id);
-    --nodes_[chosen].placed;
+    --placed_[chosen];
     return device.status();
   }
   CONVGPU_LOG(kInfo, kTag) << "placed " << id << " on node "
@@ -80,7 +81,7 @@ Result<ClusterScheduler::Placement> ClusterScheduler::RegisterContainer(
 }
 
 Result<ClusterScheduler::Node*> ClusterScheduler::NodeFor(const std::string& id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = node_of_.find(id);
   if (it == node_of_.end()) return NotFoundError("container not placed: " + id);
   return &nodes_[it->second];
@@ -90,10 +91,10 @@ Status ClusterScheduler::ContainerClose(const std::string& id) {
   auto node = NodeFor(id);
   if (!node.ok()) return node.status();
   const Status status = (*node)->scheduler->ContainerClose(id);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = node_of_.find(id);
   if (it != node_of_.end()) {
-    --nodes_[it->second].placed;
+    --placed_[it->second];
     node_of_.erase(it);
   }
   return status;

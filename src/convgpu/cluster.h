@@ -11,10 +11,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "convgpu/multigpu.h"
 
 namespace convgpu {
@@ -54,15 +54,18 @@ class ClusterScheduler {
   struct Node {
     std::string name;
     std::unique_ptr<MultiGpuScheduler> scheduler;
-    std::size_t placed = 0;
   };
 
   Result<Node*> NodeFor(const std::string& id);
 
   Bytes overhead_allowance_;
-  std::vector<Node> nodes_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::size_t> node_of_;
+  std::vector<Node> nodes_;  // immutable after construction
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::size_t> node_of_ GUARDED_BY(mutex_);
+  /// Containers placed per node (parallel to nodes_); kept outside Node so
+  /// the thread-safety analysis can see its guard.
+  std::vector<std::size_t> placed_ GUARDED_BY(mutex_);
 };
 
 }  // namespace convgpu

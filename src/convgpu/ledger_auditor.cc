@@ -1,0 +1,121 @@
+#include "convgpu/ledger_auditor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace convgpu {
+
+Status LedgerAuditor::Check(const MemoryLedger& ledger,
+                            const PendingView& pending,
+                            Bytes first_alloc_overhead) {
+  // I1–I3 are the ledger's own arithmetic (capacity, per-container ranges,
+  // used-decomposition); reuse its checker so the two can never diverge.
+  CONVGPU_RETURN_IF_ERROR(ledger.CheckInvariants());
+
+  // I4: overhead charged exactly once per charged pid.
+  for (const ContainerAccount* account : ledger.Containers()) {
+    Bytes charged_pids = 0;
+    for (const auto& [pid, pid_account] : account->pids) {
+      if (pid_account.overhead_charged) ++charged_pids;
+    }
+    if (account->overhead_charged != charged_pids * first_alloc_overhead) {
+      return InternalError(
+          "I4: overhead double-count in " + account->id + ": charged " +
+          FormatByteSize(account->overhead_charged) + " but " +
+          std::to_string(charged_pids) + " pid(s) x " +
+          FormatByteSize(first_alloc_overhead) + " was due");
+    }
+  }
+
+  // I5: suspended <=> queued, and the head request must genuinely not fit.
+  bool any_pending = false;
+  for (const auto& [id, queue] : pending) {
+    const ContainerAccount* account = ledger.Find(id);
+    if (account == nullptr) {
+      return InternalError("I5: pending queue for unregistered container " +
+                           id);
+    }
+    if (queue.empty()) {
+      return InternalError("I5: empty pending queue not erased for " + id);
+    }
+    if (!account->suspended) {
+      return InternalError("I5: queued but not marked suspended: " + id);
+    }
+    any_pending = true;
+    const PendingAlloc& head = queue.front();
+    const Bytes due = ledger.OverheadDue(id, head.pid, first_alloc_overhead);
+    if (account->used + head.size + due <= account->assigned) {
+      return InternalError(
+          "I5: " + id + " suspended although its head request of " +
+          FormatByteSize(head.size) + " (+" + FormatByteSize(due) +
+          " overhead) fits assigned " + FormatByteSize(account->assigned) +
+          " at used " + FormatByteSize(account->used));
+    }
+  }
+  for (const ContainerAccount* account : ledger.Containers()) {
+    if (!account->suspended) continue;
+    bool queued = false;
+    for (const auto& [id, queue] : pending) queued |= (id == account->id);
+    if (!queued) {
+      return InternalError("I5: marked suspended without queued requests: " +
+                           account->id);
+    }
+  }
+
+  // I6: the redistribution loop drains the pool whenever anyone waits, so
+  // free memory coexisting with a suspended request is a stranded
+  // suspension — the deadlock the paper's design rules out.
+  if (any_pending && ledger.free_pool() > 0) {
+    return InternalError("I6: " + FormatByteSize(ledger.free_pool()) +
+                         " free while requests are suspended");
+  }
+  return Status::Ok();
+}
+
+std::string LedgerAuditor::Dump(const MemoryLedger& ledger,
+                                const PendingView& pending) {
+  std::ostringstream out;
+  out << "=== ledger dump: capacity " << FormatByteSize(ledger.capacity())
+      << ", free pool " << FormatByteSize(ledger.free_pool()) << " ===\n";
+  for (const ContainerAccount* account : ledger.Containers()) {
+    out << account->id << ": limit " << FormatByteSize(account->limit)
+        << " (declared " << FormatByteSize(account->declared_limit)
+        << "), assigned " << FormatByteSize(account->assigned) << ", used "
+        << FormatByteSize(account->used) << ", in-flight "
+        << FormatByteSize(account->reserved_in_flight) << ", overhead "
+        << FormatByteSize(account->overhead_charged)
+        << (account->suspended ? ", SUSPENDED" : "") << "\n";
+    for (const auto& [pid, pid_account] : account->pids) {
+      out << "  pid " << pid
+          << (pid_account.overhead_charged ? " (overhead charged)" : "")
+          << ":";
+      for (const auto& [address, size] : pid_account.allocations) {
+        out << " 0x" << std::hex << address << std::dec << "="
+            << FormatByteSize(size);
+      }
+      out << "\n";
+    }
+  }
+  for (const auto& [id, queue] : pending) {
+    out << "pending " << id << ":";
+    for (const PendingAlloc& request : queue) {
+      out << " pid" << request.pid << ":" << FormatByteSize(request.size);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void LedgerAuditor::AuditOrDie(const MemoryLedger& ledger,
+                               const PendingView& pending,
+                               Bytes first_alloc_overhead) {
+  const Status status = Check(ledger, pending, first_alloc_overhead);
+  if (status.ok()) return;
+  const std::string dump = Dump(ledger, pending);
+  std::fprintf(stderr, "LedgerAuditor: invariant violated: %s\n%s",
+               status.ToString().c_str(), dump.c_str());
+  std::abort();
+}
+
+}  // namespace convgpu

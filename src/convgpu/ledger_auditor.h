@@ -1,0 +1,64 @@
+// LedgerAuditor: machine-checked form of the paper's scheduling invariants.
+//
+// DESIGN.md states the invariants in prose; the auditor asserts them on
+// the live ledger at every scheduler state transition (under the core's
+// mutex) and aborts with a full ledger dump when one breaks, so a
+// double-count or a stranded suspension is caught at the transition that
+// introduced it instead of surfacing later as drifted accounting:
+//
+//   I1  Σ assigned ≤ capacity                       (device admission)
+//   I2  0 ≤ used ≤ assigned ≤ limit per container   (Fig. 3 arithmetic)
+//   I3  `used` decomposes exactly into committed allocations +
+//       in-flight reservations + driver overhead    (no lost/double bytes)
+//   I4  the 66 MiB first-allocation overhead is charged exactly once per
+//       pid: overhead_charged == (#charged pids) × overhead
+//   I5  a container is suspended iff it has queued requests, and the head
+//       request genuinely does not fit its current assignment
+//   I6  no free memory while any request is suspended — the redistribution
+//       loop must have drained the pool (no stranded suspension)
+//
+// Cost: O(containers × allocations) per transition, so the audit is
+// compiled in only when CONVGPU_LEDGER_AUDIT is defined (CMake turns it on
+// for every build type except Release; tests therefore run audited).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "convgpu/ledger.h"
+
+namespace convgpu {
+
+class LedgerAuditor {
+ public:
+  /// A queued (suspended) allocation, stripped of its grant callback.
+  struct PendingAlloc {
+    Pid pid = 0;
+    Bytes size = 0;
+  };
+  /// Per-container suspended queues, in queue (FIFO) order.
+  using PendingView =
+      std::vector<std::pair<std::string, std::vector<PendingAlloc>>>;
+
+  /// Returns Ok when every invariant holds, or an InternalError naming the
+  /// first violated invariant. `first_alloc_overhead` is the per-pid
+  /// driver charge the scheduler was configured with (I4).
+  [[nodiscard]] static Status Check(const MemoryLedger& ledger,
+                                    const PendingView& pending,
+                                    Bytes first_alloc_overhead);
+
+  /// Check(); on violation, writes the violation and a full ledger dump to
+  /// stderr and aborts the process.
+  static void AuditOrDie(const MemoryLedger& ledger, const PendingView& pending,
+                         Bytes first_alloc_overhead);
+
+  /// Human-readable dump of every account, pid, allocation, and queue.
+  [[nodiscard]] static std::string Dump(const MemoryLedger& ledger,
+                                        const PendingView& pending);
+};
+
+}  // namespace convgpu

@@ -99,7 +99,7 @@ Result<int> MultiGpuScheduler::RegisterContainer(const std::string& id,
                                                  std::optional<Bytes> limit) {
   std::size_t index = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (placement_of_.contains(id)) {
       return AlreadyExistsError("container already placed: " + id);
     }
@@ -113,7 +113,7 @@ Result<int> MultiGpuScheduler::RegisterContainer(const std::string& id,
   }
   auto status = devices_[index].core->RegisterContainer(id, limit);
   if (!status.ok()) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     placement_of_.erase(id);
     return status;
   }
@@ -124,7 +124,7 @@ Result<int> MultiGpuScheduler::RegisterContainer(const std::string& id,
 }
 
 Result<int> MultiGpuScheduler::DeviceOf(const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = placement_of_.find(id);
   if (it == placement_of_.end()) {
     return NotFoundError("container not placed: " + id);
@@ -133,7 +133,7 @@ Result<int> MultiGpuScheduler::DeviceOf(const std::string& id) const {
 }
 
 Result<SchedulerCore*> MultiGpuScheduler::CoreFor(const std::string& id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = placement_of_.find(id);
   if (it == placement_of_.end()) {
     return NotFoundError("container not placed: " + id);
@@ -187,7 +187,7 @@ Status MultiGpuScheduler::ContainerClose(const std::string& id) {
   auto core = CoreFor(id);
   if (!core.ok()) return core.status();
   const Status status = (*core)->ContainerClose(id);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   placement_of_.erase(id);
   return status;
 }
@@ -203,7 +203,7 @@ std::optional<ContainerStatsSnapshot> MultiGpuScheduler::StatsFor(
     const std::string& id) const {
   std::size_t index = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = placement_of_.find(id);
     if (it == placement_of_.end()) return std::nullopt;
     index = it->second;

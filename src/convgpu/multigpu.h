@@ -13,11 +13,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "convgpu/scheduler_core.h"
 
 namespace convgpu {
@@ -79,15 +79,16 @@ class MultiGpuScheduler {
   Result<SchedulerCore*> CoreFor(const std::string& id);
   /// Chooses a device for a container needing `demand` bytes (limit +
   /// overhead allowance); mutex held.
-  Result<std::size_t> PlaceLocked(Bytes demand);
+  Result<std::size_t> PlaceLocked(Bytes demand) REQUIRES(mutex_);
 
   PlacementPolicy placement_;
   Bytes overhead_allowance_;
-  std::vector<Device> devices_;
+  std::vector<Device> devices_;  // immutable after construction
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::size_t> placement_of_;  // container -> index
-  std::size_t round_robin_next_ = 0;
+  mutable Mutex mutex_;
+  // container -> index
+  std::map<std::string, std::size_t> placement_of_ GUARDED_BY(mutex_);
+  std::size_t round_robin_next_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace convgpu

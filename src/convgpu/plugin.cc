@@ -55,12 +55,12 @@ void NvDockerPlugin::Unmount(const std::string& volume_name,
   CONVGPU_LOG(kInfo, kTag) << "container " << key
                            << " exited (dummy volume unmounted), sending close";
   SendClose(key);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   closed_.push_back(key);
 }
 
 std::vector<std::string> NvDockerPlugin::closed_containers() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 

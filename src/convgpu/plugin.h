@@ -8,9 +8,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "containersim/volume.h"
 #include "convgpu/scheduler_core.h"
@@ -41,8 +41,8 @@ class NvDockerPlugin final : public containersim::VolumePlugin {
   void SendClose(const std::string& scheduler_key);
 
   Options options_;
-  mutable std::mutex mutex_;
-  std::vector<std::string> closed_;
+  mutable Mutex mutex_;
+  std::vector<std::string> closed_ GUARDED_BY(mutex_);
 };
 
 }  // namespace convgpu

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "convgpu/ledger_auditor.h"
 
 namespace convgpu {
 
@@ -23,6 +24,22 @@ SchedulerCore::SchedulerCore(SchedulerOptions options, const Clock* clock)
   }
 }
 
+void SchedulerCore::AuditLocked() const {
+#ifdef CONVGPU_LEDGER_AUDIT
+  LedgerAuditor::PendingView view;
+  view.reserve(pending_.size());
+  for (const auto& [id, queue] : pending_) {
+    std::vector<LedgerAuditor::PendingAlloc> requests;
+    requests.reserve(queue.size());
+    for (const auto& request : queue) {
+      requests.push_back({request.pid, request.size});
+    }
+    view.emplace_back(id, std::move(requests));
+  }
+  LedgerAuditor::AuditOrDie(ledger_, view, options_.first_alloc_overhead);
+#endif
+}
+
 void SchedulerCore::Fire(Callbacks& callbacks) {
   for (auto& [callback, status] : callbacks) {
     if (callback) callback(status);
@@ -32,7 +49,7 @@ void SchedulerCore::Fire(Callbacks& callbacks) {
 
 Status SchedulerCore::RegisterContainer(const std::string& id,
                                         std::optional<Bytes> limit) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const Bytes effective = limit.value_or(options_.default_limit);
   auto status =
       ledger_.Register(id, effective, options_.first_alloc_overhead, Now());
@@ -41,6 +58,7 @@ Status SchedulerCore::RegisterContainer(const std::string& id,
                              << FormatByteSize(effective) << ", assigned "
                              << FormatByteSize(ledger_.Find(id)->assigned);
   }
+  AuditLocked();
   return status;
 }
 
@@ -48,7 +66,7 @@ void SchedulerCore::RequestAlloc(const std::string& id, Pid pid, Bytes size,
                                  GrantCallback done) {
   Callbacks callbacks;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const ContainerAccount* account = ledger_.Find(id);
     if (account == nullptr) {
       callbacks.emplace_back(std::move(done),
@@ -84,6 +102,7 @@ void SchedulerCore::RequestAlloc(const std::string& id, Pid pid, Bytes size,
     // requests, the new one queues behind them regardless of fit.
     if (pending_.contains(id)) {
       pending_[id].push_back(PendingRequest{pid, size, std::move(done)});
+      AuditLocked();
       Fire(callbacks);
       return;
     }
@@ -118,6 +137,7 @@ void SchedulerCore::RequestAlloc(const std::string& id, Pid pid, Bytes size,
     } else {
       callbacks.emplace_back(std::move(done), reserve);
     }
+    AuditLocked();
   }
   Fire(callbacks);
 }
@@ -207,15 +227,17 @@ void SchedulerCore::RedistributeLocked(Callbacks& out) {
 
 Status SchedulerCore::CommitAlloc(const std::string& id, Pid pid,
                                   std::uint64_t address, Bytes size) {
-  std::lock_guard lock(mutex_);
-  return ledger_.Commit(id, pid, address, size);
+  MutexLock lock(mutex_);
+  auto status = ledger_.Commit(id, pid, address, size);
+  AuditLocked();
+  return status;
 }
 
 Status SchedulerCore::AbortAlloc(const std::string& id, Pid pid, Bytes size) {
   Callbacks callbacks;
   Status status;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     (void)pid;
     status = ledger_.Unreserve(id, size);
     if (status.ok()) {
@@ -223,6 +245,7 @@ Status SchedulerCore::AbortAlloc(const std::string& id, Pid pid, Bytes size) {
       // proceed (the pool itself did not change).
       TryGrantPendingLocked(id, callbacks);
     }
+    AuditLocked();
   }
   Fire(callbacks);
   return status;
@@ -233,7 +256,7 @@ Status SchedulerCore::FreeAlloc(const std::string& id, Pid pid,
   Callbacks callbacks;
   Status status = Status::Ok();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto freed = ledger_.Free(id, pid, address);
     if (!freed.ok()) {
       status = freed.status();
@@ -243,13 +266,14 @@ Status SchedulerCore::FreeAlloc(const std::string& id, Pid pid,
       // the guarantee persists until the container closes.
       TryGrantPendingLocked(id, callbacks);
     }
+    AuditLocked();
   }
   Fire(callbacks);
   return status;
 }
 
 Result<MemInfoReply> SchedulerCore::MemGetInfo(const std::string& id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const ContainerAccount* account = ledger_.Find(id);
   if (account == nullptr) return NotFoundError("unknown container: " + id);
   // User-visible numbers: the driver overhead is invisible to the program,
@@ -263,7 +287,7 @@ Status SchedulerCore::ProcessExit(const std::string& id, Pid pid) {
   Callbacks callbacks;
   Status status = Status::Ok();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Cancel queued requests from the exiting pid — nobody is waiting for
     // those replies anymore.
     auto it = pending_.find(id);
@@ -287,9 +311,14 @@ Status SchedulerCore::ProcessExit(const std::string& id, Pid pid) {
     auto released = ledger_.ProcessExit(id, pid, options_.first_alloc_overhead);
     if (!released.ok()) {
       status = released.status();
-    } else if (*released > 0) {
+    } else {
+      // Always re-run the grant loop, not just when memory was released:
+      // canceling the exiting pid's queued requests above may have exposed
+      // a smaller head request that already fits the current assignment,
+      // and nothing else would ever wake it.
       TryGrantPendingLocked(id, callbacks);
     }
+    AuditLocked();
   }
   Fire(callbacks);
   return status;
@@ -299,7 +328,7 @@ Status SchedulerCore::ContainerClose(const std::string& id) {
   Callbacks callbacks;
   Status status;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = pending_.find(id);
     if (it != pending_.end()) {
       for (auto& request : it->second) {
@@ -314,13 +343,14 @@ Status SchedulerCore::ContainerClose(const std::string& id) {
                                << FormatByteSize(ledger_.free_pool());
       RedistributeLocked(callbacks);
     }
+    AuditLocked();
   }
   Fire(callbacks);
   return status;
 }
 
 std::vector<ContainerStatsSnapshot> SchedulerCore::Stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<ContainerStatsSnapshot> result;
   for (const ContainerAccount* account : ledger_.Containers()) {
     ContainerStatsSnapshot snapshot;
@@ -351,19 +381,19 @@ std::optional<ContainerStatsSnapshot> SchedulerCore::StatsFor(
 }
 
 Bytes SchedulerCore::free_pool() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return ledger_.free_pool();
 }
 
 std::size_t SchedulerCore::pending_request_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const auto& [id, queue] : pending_) count += queue.size();
   return count;
 }
 
 Status SchedulerCore::CheckInvariants() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   CONVGPU_RETURN_IF_ERROR(ledger_.CheckInvariants());
   for (const auto& [id, queue] : pending_) {
     if (queue.empty()) {

@@ -16,7 +16,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "convgpu/ledger.h"
 #include "convgpu/policy.h"
@@ -136,11 +136,17 @@ class SchedulerCore {
 
   /// Grants `account`'s queued requests (FIFO) while they fit; updates
   /// suspension stats. Appends fired callbacks to `out`.
-  void TryGrantPendingLocked(const std::string& id, Callbacks& out);
+  void TryGrantPendingLocked(const std::string& id, Callbacks& out)
+      REQUIRES(mutex_);
 
   /// The release path: policy-driven assignment of the free pool to paused
   /// containers (paper §III-D, Fig. 3d).
-  void RedistributeLocked(Callbacks& out);
+  void RedistributeLocked(Callbacks& out) REQUIRES(mutex_);
+
+  /// Debug-mode invariant audit (LedgerAuditor): called under the lock at
+  /// the end of every state transition; aborts with a full ledger dump on
+  /// violation. Compiled to nothing unless CONVGPU_LEDGER_AUDIT is set.
+  void AuditLocked() const REQUIRES(mutex_);
 
   static void Fire(Callbacks& callbacks);
 
@@ -148,9 +154,9 @@ class SchedulerCore {
   std::unique_ptr<SchedulingPolicy> policy_;
   const Clock* clock_;
 
-  mutable std::mutex mutex_;
-  MemoryLedger ledger_;
-  std::map<std::string, std::deque<PendingRequest>> pending_;
+  mutable Mutex mutex_;
+  MemoryLedger ledger_ GUARDED_BY(mutex_);
+  std::map<std::string, std::deque<PendingRequest>> pending_ GUARDED_BY(mutex_);
 };
 
 }  // namespace convgpu

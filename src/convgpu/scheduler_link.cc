@@ -14,7 +14,7 @@ Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
 
 Result<protocol::Message> SocketSchedulerLink::Call(
     const protocol::Message& request) {
-  std::lock_guard lock(call_mutex_);
+  MutexLock lock(call_mutex_);
   CONVGPU_RETURN_IF_ERROR(client_->Send(protocol::Encode(request)));
   auto reply = client_->Recv();
   if (!reply.ok()) return reply.status();

@@ -12,11 +12,10 @@
 // semantics as the scheduler's per-container FIFO queue.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "convgpu/protocol.h"
 #include "convgpu/scheduler_core.h"
@@ -49,7 +48,10 @@ class SocketSchedulerLink final : public SchedulerLink {
   explicit SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client)
       : client_(std::move(client)) {}
 
-  std::mutex call_mutex_;
+  /// Serializes whole Call() exchanges (send + matching reply), not the
+  /// socket itself — Notify() bypasses it and relies on MessageClient's own
+  /// write serialization, so client_ is deliberately not GUARDED_BY.
+  Mutex call_mutex_;
   std::unique_ptr<ipc::MessageClient> client_;
 };
 

@@ -23,7 +23,7 @@ std::string SchedulerServer::main_socket_path() const {
 }
 
 std::string SchedulerServer::container_socket_path(const std::string& id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = channels_.find(id);
   return it == channels_.end() ? std::string() : it->second->socket_path;
 }
@@ -42,7 +42,7 @@ Status SchedulerServer::Start() {
       });
   if (!status.ok()) return status;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     started_ = true;
   }
   CONVGPU_LOG(kInfo, kTag) << "scheduler listening on " << main_socket_path()
@@ -54,7 +54,7 @@ Status SchedulerServer::Start() {
 void SchedulerServer::Stop() {
   std::map<std::string, std::shared_ptr<ContainerChannel>> channels;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!started_) return;
     started_ = false;
     channels.swap(channels_);
@@ -66,6 +66,15 @@ void SchedulerServer::Stop() {
 protocol::RegisterReply SchedulerServer::DoRegister(
     const protocol::RegisterContainer& request) {
   protocol::RegisterReply reply;
+  {
+    // A registration racing Stop() must not start a channel server that
+    // nobody will ever stop.
+    MutexLock lock(mutex_);
+    if (!started_) {
+      reply.error = "scheduler is shutting down";
+      return reply;
+    }
+  }
   auto status = core_.RegisterContainer(request.container_id,
                                         request.memory_limit);
   if (!status.ok()) {
@@ -113,7 +122,16 @@ protocol::RegisterReply SchedulerServer::DoRegister(
   }
 
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
+    if (!started_) {
+      // Stop() ran while the channel was being built; it will never see
+      // this channel, so tear it down here.
+      lock.Unlock();
+      channel->server->Stop();
+      (void)core_.ContainerClose(request.container_id);
+      reply.error = "scheduler is shutting down";
+      return reply;
+    }
     channels_[request.container_id] = channel;
   }
   reply.ok = true;
@@ -158,7 +176,7 @@ void SchedulerServer::HandleMain(ipc::ConnectionId conn, json::Json message) {
     (void)core_.ContainerClose(id);
     std::shared_ptr<ContainerChannel> channel;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = channels_.find(id);
       if (it != channels_.end()) {
         channel = it->second;
@@ -193,7 +211,7 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
 
   std::shared_ptr<ContainerChannel> channel;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = channels_.find(container_id);
     if (it == channels_.end()) return;  // closed concurrently
     channel = it->second;
@@ -201,22 +219,24 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
 
   // Record the speaking pid for crash cleanup.
   auto note_pid = [&](Pid pid) {
-    std::lock_guard lock(channel->pids_mutex);
+    MutexLock lock(channel->pids_mutex);
     channel->pids_by_conn[conn].insert(pid);
   };
 
   if (auto* request = std::get_if<protocol::AllocRequest>(&*decoded)) {
     note_pid(request->pid);
-    // The reply may be deferred (suspension) — capture what's needed to
-    // answer whenever the scheduler decides.
-    ipc::MessageServer* server = channel->server.get();
+    // The reply may be deferred (suspension) and fire from whichever thread
+    // releases memory, possibly after this container was closed and erased
+    // from channels_ — the callback must keep the channel alive (a raw
+    // MessageServer* here is a use-after-free under that race).
     core_.RequestAlloc(
         container_id, request->pid, request->size,
-        [server, conn](const Status& status) {
+        [channel, conn](const Status& status) {
           protocol::AllocReply reply;
           reply.granted = status.ok();
           if (!status.ok()) reply.error = status.ToString();
-          (void)server->Send(conn, protocol::Encode(protocol::Message(reply)));
+          (void)channel->server->Send(
+              conn, protocol::Encode(protocol::Message(reply)));
         });
     return;
   }
@@ -247,7 +267,7 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
   }
   if (auto* exit = std::get_if<protocol::ProcessExit>(&*decoded)) {
     (void)core_.ProcessExit(container_id, exit->pid);
-    std::lock_guard lock(channel->pids_mutex);
+    MutexLock lock(channel->pids_mutex);
     for (auto& [cid, pids] : channel->pids_by_conn) pids.erase(exit->pid);
     return;
   }
@@ -264,14 +284,14 @@ void SchedulerServer::HandleContainerDisconnect(const std::string& container_id,
                                                 ipc::ConnectionId conn) {
   std::shared_ptr<ContainerChannel> channel;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = channels_.find(container_id);
     if (it == channels_.end()) return;
     channel = it->second;
   }
   std::set<Pid> orphans;
   {
-    std::lock_guard lock(channel->pids_mutex);
+    MutexLock lock(channel->pids_mutex);
     auto it = channel->pids_by_conn.find(conn);
     if (it != channel->pids_by_conn.end()) {
       orphans = std::move(it->second);

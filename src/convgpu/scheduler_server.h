@@ -11,10 +11,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "convgpu/protocol.h"
 #include "convgpu/scheduler_core.h"
@@ -57,10 +57,11 @@ class SchedulerServer {
     std::unique_ptr<ipc::MessageServer> server;
     std::string socket_path;
     std::string dir;
+    Mutex pids_mutex;
     // pids that spoke on each connection — lets a crashed process (socket
     // dropped without process_exit) still be cleaned up.
-    std::map<ipc::ConnectionId, std::set<Pid>> pids_by_conn;
-    std::mutex pids_mutex;
+    std::map<ipc::ConnectionId, std::set<Pid>> pids_by_conn
+        GUARDED_BY(pids_mutex);
   };
 
   void HandleMain(ipc::ConnectionId conn, json::Json message);
@@ -75,9 +76,10 @@ class SchedulerServer {
   SchedulerCore core_;
   ipc::MessageServer main_server_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<ContainerChannel>> channels_;
-  bool started_ = false;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<ContainerChannel>> channels_
+      GUARDED_BY(mutex_);
+  bool started_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace convgpu

@@ -15,13 +15,13 @@ WrapperCore::WrapperCore(cudasim::CudaApi* inner, SchedulerLink* link, Pid pid)
 
 CudaError WrapperCore::EnsureGeometry() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (geometry_loaded_) return CudaError::kSuccess;
   }
   cudasim::DeviceProp prop;
   const CudaError error = inner_->GetDeviceProperties(&prop, 0);
   if (error != CudaError::kSuccess) return error;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   pitch_alignment_ = static_cast<Bytes>(prop.pitch_alignment);
   managed_granularity_ = prop.managed_granularity;
   geometry_loaded_ = true;
@@ -32,7 +32,7 @@ template <typename AllocateFn>
 CudaError WrapperCore::GuardedAlloc(Bytes adjusted, const char* api,
                                     AllocateFn allocate) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.alloc_requests;
     ++stats_.scheduler_round_trips;
   }
@@ -45,20 +45,20 @@ CudaError WrapperCore::GuardedAlloc(Bytes adjusted, const char* api,
   if (!reply.ok()) {
     CONVGPU_LOG(kError, kTag) << api << ": scheduler unreachable: "
                               << reply.status().ToString();
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     wrapper_error_ = CudaError::kSchedulerUnavailable;
     return CudaError::kSchedulerUnavailable;
   }
   const auto* alloc_reply = std::get_if<protocol::AllocReply>(&*reply);
   if (alloc_reply == nullptr) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     wrapper_error_ = CudaError::kSchedulerUnavailable;
     return CudaError::kSchedulerUnavailable;
   }
   if (!alloc_reply->granted) {
     // Over the container's limit: the user program sees the same error a
     // full GPU would produce.
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.alloc_rejected;
     wrapper_error_ = CudaError::kMemoryAllocation;
     return CudaError::kMemoryAllocation;
@@ -81,7 +81,7 @@ CudaError WrapperCore::GuardedAlloc(Bytes adjusted, const char* api,
   commit.address = address;
   commit.size = adjusted;
   (void)link_->Notify(protocol::Message(commit));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.alloc_granted;
   return CudaError::kSuccess;
 }
@@ -104,7 +104,7 @@ CudaError WrapperCore::MallocPitch(cudasim::DevicePtr* dev_ptr,
   if (geometry != CudaError::kSuccess) return geometry;
   Bytes alignment = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     alignment = pitch_alignment_;
   }
   const Bytes adjusted =
@@ -125,7 +125,7 @@ CudaError WrapperCore::Malloc3D(cudasim::PitchedPtr* pitched,
   if (geometry != CudaError::kSuccess) return geometry;
   Bytes alignment = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     alignment = pitch_alignment_;
   }
   const Bytes adjusted = AlignUp(static_cast<Bytes>(extent.width), alignment) *
@@ -146,7 +146,7 @@ CudaError WrapperCore::MallocManaged(cudasim::DevicePtr* dev_ptr,
   if (geometry != CudaError::kSuccess) return geometry;
   Bytes granularity = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     granularity = managed_granularity_;
   }
   const Bytes adjusted = AlignUp(static_cast<Bytes>(size), granularity);
@@ -167,7 +167,7 @@ CudaError WrapperCore::Free(cudasim::DevicePtr dev_ptr) {
     notify.pid = pid_;
     notify.address = dev_ptr;
     (void)link_->Notify(protocol::Message(notify));
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.frees;
   }
   return error;
@@ -179,7 +179,7 @@ CudaError WrapperCore::MemGetInfo(std::size_t* free_bytes,
     return CudaError::kInvalidValue;
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.mem_get_info;
     ++stats_.scheduler_round_trips;
   }
@@ -240,7 +240,7 @@ void WrapperCore::UnregisterFatBinary() {
 
 CudaError WrapperCore::GetLastError() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (wrapper_error_ != CudaError::kSuccess) {
       const CudaError error = wrapper_error_;
       wrapper_error_ = CudaError::kSuccess;
@@ -251,7 +251,7 @@ CudaError WrapperCore::GetLastError() {
 }
 
 WrapperStats WrapperCore::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -19,9 +19,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/ids.h"
 #include "convgpu/scheduler_link.h"
 #include "cudasim/cuda_api.h"
@@ -91,12 +91,12 @@ class WrapperCore final : public cudasim::CudaApi {
   SchedulerLink* link_;
   Pid pid_;
 
-  mutable std::mutex mutex_;
-  WrapperStats stats_;
-  bool geometry_loaded_ = false;
-  Bytes pitch_alignment_ = 512;
-  Bytes managed_granularity_ = 128 * kMiB;
-  CudaError wrapper_error_ = CudaError::kSuccess;
+  mutable Mutex mutex_;
+  WrapperStats stats_ GUARDED_BY(mutex_);
+  bool geometry_loaded_ GUARDED_BY(mutex_) = false;
+  Bytes pitch_alignment_ GUARDED_BY(mutex_) = 512;
+  Bytes managed_granularity_ GUARDED_BY(mutex_) = 128 * kMiB;
+  CudaError wrapper_error_ GUARDED_BY(mutex_) = CudaError::kSuccess;
 };
 
 }  // namespace convgpu

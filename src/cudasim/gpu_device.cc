@@ -51,7 +51,7 @@ Result<GpuDevice::ContextState*> GpuDevice::GetOrCreateContextLocked(Pid pid) {
 }
 
 void GpuDevice::DestroyContext(Pid pid) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = contexts_.find(pid);
   if (it == contexts_.end()) return;
   for (DevicePtr ptr : it->second.allocations) {
@@ -67,7 +67,7 @@ void GpuDevice::DestroyContext(Pid pid) {
 }
 
 bool GpuDevice::HasContext(Pid pid) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return contexts_.contains(pid);
 }
 
@@ -86,7 +86,7 @@ Result<DevicePtr> GpuDevice::AllocateLocked(Pid pid, Bytes size) {
 
 Result<DevicePtr> GpuDevice::Malloc(Pid pid, Bytes size) {
   SpinFor(options_.latency.malloc_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (size <= 0) return InvalidArgumentError("cudaMalloc size must be > 0");
   return AllocateLocked(pid, size);
 }
@@ -95,7 +95,7 @@ Result<std::pair<DevicePtr, std::size_t>> GpuDevice::MallocPitch(Pid pid,
                                                                  Bytes width,
                                                                  Bytes height) {
   SpinFor(options_.latency.malloc_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (width <= 0 || height <= 0) {
     return InvalidArgumentError("cudaMallocPitch dimensions must be > 0");
   }
@@ -107,7 +107,7 @@ Result<std::pair<DevicePtr, std::size_t>> GpuDevice::MallocPitch(Pid pid,
 
 Result<PitchedPtr> GpuDevice::Malloc3D(Pid pid, const Extent& extent) {
   SpinFor(options_.latency.malloc_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (extent.width == 0 || extent.height == 0 || extent.depth == 0) {
     return InvalidArgumentError("cudaMalloc3D extent must be non-zero");
   }
@@ -127,7 +127,7 @@ Result<PitchedPtr> GpuDevice::Malloc3D(Pid pid, const Extent& extent) {
 
 Result<DevicePtr> GpuDevice::MallocManaged(Pid pid, Bytes size) {
   SpinFor(options_.latency.malloc_managed_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (size <= 0) return InvalidArgumentError("cudaMallocManaged size must be > 0");
   const Bytes mapped = AlignUp(size, prop_.managed_granularity);
   return AllocateLocked(pid, mapped);
@@ -135,7 +135,7 @@ Result<DevicePtr> GpuDevice::MallocManaged(Pid pid, Bytes size) {
 
 Status GpuDevice::Free(Pid pid, DevicePtr ptr) {
   SpinFor(options_.latency.free_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = contexts_.find(pid);
   if (it == contexts_.end()) {
     return FailedPreconditionError("cudaFree from pid without a context");
@@ -150,19 +150,19 @@ Status GpuDevice::Free(Pid pid, DevicePtr ptr) {
 
 DeviceMemInfo GpuDevice::MemGetInfo() const {
   SpinFor(options_.latency.mem_get_info_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return {allocator_.free_bytes(), allocator_.capacity()};
 }
 
 Bytes GpuDevice::UsedBy(Pid pid) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = contexts_.find(pid);
   if (it == contexts_.end()) return 0;
   return it->second.bytes_used + prop_.process_overhead + prop_.context_overhead;
 }
 
 std::size_t GpuDevice::context_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return contexts_.size();
 }
 
@@ -178,7 +178,7 @@ Duration GpuDevice::TransferTime(MemcpyKind kind, Bytes count) const {
 
 Result<TransferResult> GpuDevice::CopyToDevice(Pid pid, DevicePtr dst,
                                                const void* host, Bytes count) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!contexts_.contains(pid)) {
     auto context = GetOrCreateContextLocked(pid);
     if (!context.ok()) return context.status();
@@ -200,7 +200,7 @@ Result<TransferResult> GpuDevice::CopyToDevice(Pid pid, DevicePtr dst,
 
 Result<TransferResult> GpuDevice::CopyToHost(Pid pid, void* host, DevicePtr src,
                                              Bytes count) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!contexts_.contains(pid)) {
     return FailedPreconditionError("memcpy D2H from pid without a context");
   }
@@ -221,7 +221,7 @@ Result<TransferResult> GpuDevice::CopyToHost(Pid pid, void* host, DevicePtr src,
 
 Result<TransferResult> GpuDevice::CopyDeviceToDevice(Pid pid, DevicePtr dst,
                                                      DevicePtr src, Bytes count) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!contexts_.contains(pid)) {
     return FailedPreconditionError("memcpy D2D from pid without a context");
   }
@@ -245,7 +245,7 @@ Result<TransferResult> GpuDevice::CopyDeviceToDevice(Pid pid, DevicePtr dst,
 }
 
 Result<std::byte*> GpuDevice::BackingStore(DevicePtr ptr, Bytes* size_out) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto base = allocator_.FindContaining(ptr);
   if (!base) return InvalidArgumentError("no allocation at pointer");
   auto it = backing_.find(base->first);
@@ -259,7 +259,7 @@ Result<std::byte*> GpuDevice::BackingStore(DevicePtr ptr, Bytes* size_out) {
 }
 
 Result<StreamId> GpuDevice::StreamCreate(Pid pid) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto context = GetOrCreateContextLocked(pid);
   if (!context.ok()) return context.status();
   const StreamId stream = next_stream_++;
@@ -269,7 +269,7 @@ Result<StreamId> GpuDevice::StreamCreate(Pid pid) {
 }
 
 Status GpuDevice::StreamDestroy(Pid pid, StreamId stream) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = contexts_.find(pid);
   if (it == contexts_.end()) {
     return FailedPreconditionError("stream destroy without a context");
@@ -287,7 +287,7 @@ Status GpuDevice::StreamDestroy(Pid pid, StreamId stream) {
 Result<TimePoint> GpuDevice::LaunchKernel(Pid pid, const KernelLaunch& launch,
                                           TimePoint now) {
   SpinFor(options_.latency.launch_latency);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto context = GetOrCreateContextLocked(pid);
   if (!context.ok()) return context.status();
   if (launch.grid.Count() == 0 || launch.block.Count() == 0) {
@@ -297,22 +297,22 @@ Result<TimePoint> GpuDevice::LaunchKernel(Pid pid, const KernelLaunch& launch,
 }
 
 TimePoint GpuDevice::StreamCompletion(StreamId stream, TimePoint now) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return engine_.StreamCompletion(stream, now);
 }
 
 TimePoint GpuDevice::DeviceCompletion(TimePoint now) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return engine_.DeviceCompletion(now);
 }
 
 std::uint64_t GpuDevice::kernels_launched() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return engine_.kernels_launched();
 }
 
 void GpuDevice::set_latency_model(const ApiLatencyModel& model) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   options_.latency = model;
 }
 

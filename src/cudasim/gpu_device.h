@@ -9,7 +9,6 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/ids.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "cudasim/kernel_engine.h"
 #include "cudasim/mem_allocator.h"
@@ -130,21 +130,22 @@ class GpuDevice {
     Bytes bytes_used = 0;  // excluding overhead block
   };
 
-  // Must hold mutex_. Creates the context (charging overhead) if absent.
-  Result<ContextState*> GetOrCreateContextLocked(Pid pid);
-  Result<DevicePtr> AllocateLocked(Pid pid, Bytes size);
+  /// Creates the context (charging overhead) if absent.
+  Result<ContextState*> GetOrCreateContextLocked(Pid pid) REQUIRES(mutex_);
+  Result<DevicePtr> AllocateLocked(Pid pid, Bytes size) REQUIRES(mutex_);
   void SpinFor(Duration latency) const;
 
   const int id_;
   const DeviceProp prop_;
   GpuDeviceOptions options_;
 
-  mutable std::mutex mutex_;
-  DeviceMemoryAllocator allocator_;
-  KernelEngine engine_;
-  std::map<Pid, ContextState> contexts_;
-  std::map<DevicePtr, std::vector<std::byte>> backing_;  // materialized mode
-  StreamId next_stream_ = 1;
+  mutable Mutex mutex_;
+  DeviceMemoryAllocator allocator_ GUARDED_BY(mutex_);
+  KernelEngine engine_ GUARDED_BY(mutex_);
+  std::map<Pid, ContextState> contexts_ GUARDED_BY(mutex_);
+  // materialized mode
+  std::map<DevicePtr, std::vector<std::byte>> backing_ GUARDED_BY(mutex_);
+  StreamId next_stream_ GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace convgpu::cudasim

@@ -37,7 +37,7 @@ TimePoint SimCudaApi::Now() const {
 
 CudaError SimCudaApi::Record(CudaError error) {
   if (error != CudaError::kSuccess) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     last_error_ = error;
   }
   return error;
@@ -108,7 +108,7 @@ CudaError SimCudaApi::MemcpyHostToDevice(DevicePtr dst, const void* src,
                                          std::size_t count) {
   auto result = device_->CopyToDevice(pid_, dst, src, static_cast<Bytes>(count));
   if (!result.ok()) return Record(StatusToCudaError(result.status()));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.transfer_time += result->duration;
   ++stats_.memcpy_calls;
   return CudaError::kSuccess;
@@ -118,7 +118,7 @@ CudaError SimCudaApi::MemcpyDeviceToHost(void* dst, DevicePtr src,
                                          std::size_t count) {
   auto result = device_->CopyToHost(pid_, dst, src, static_cast<Bytes>(count));
   if (!result.ok()) return Record(StatusToCudaError(result.status()));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.transfer_time += result->duration;
   ++stats_.memcpy_calls;
   return CudaError::kSuccess;
@@ -129,7 +129,7 @@ CudaError SimCudaApi::MemcpyDeviceToDevice(DevicePtr dst, DevicePtr src,
   auto result =
       device_->CopyDeviceToDevice(pid_, dst, src, static_cast<Bytes>(count));
   if (!result.ok()) return Record(StatusToCudaError(result.status()));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.transfer_time += result->duration;
   ++stats_.memcpy_calls;
   return CudaError::kSuccess;
@@ -138,7 +138,7 @@ CudaError SimCudaApi::MemcpyDeviceToDevice(DevicePtr dst, DevicePtr src,
 CudaError SimCudaApi::LaunchKernel(const KernelLaunch& launch) {
   auto completion = device_->LaunchKernel(pid_, launch, Now());
   if (!completion.ok()) return Record(StatusToCudaError(completion.status()));
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.kernel_time += launch.duration;
   ++stats_.kernel_launches;
   stats_.last_completion = std::max(stats_.last_completion, *completion);
@@ -148,7 +148,7 @@ CudaError SimCudaApi::LaunchKernel(const KernelLaunch& launch) {
 CudaError SimCudaApi::DeviceSynchronize() {
   // Timing-model synchronize: the completion horizon is queryable through
   // stats(); nothing blocks because kernel time is simulated.
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.last_completion =
       std::max(stats_.last_completion, device_->DeviceCompletion(Now()));
   return CudaError::kSuccess;
@@ -167,27 +167,27 @@ CudaError SimCudaApi::StreamDestroy(StreamId stream) {
 }
 
 void SimCudaApi::RegisterFatBinary() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   fat_binary_registered_ = true;
 }
 
 void SimCudaApi::UnregisterFatBinary() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     fat_binary_registered_ = false;
   }
   device_->DestroyContext(pid_);
 }
 
 CudaError SimCudaApi::GetLastError() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const CudaError error = last_error_;
   last_error_ = CudaError::kSuccess;
   return error;
 }
 
 GpuTimeStats SimCudaApi::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

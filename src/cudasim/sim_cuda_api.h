@@ -7,9 +7,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "cudasim/cuda_api.h"
 #include "cudasim/gpu_device.h"
 
@@ -68,10 +68,10 @@ class SimCudaApi final : public CudaApi {
   Pid pid_;
   const Clock* clock_;
 
-  mutable std::mutex mutex_;
-  GpuTimeStats stats_;
-  CudaError last_error_ = CudaError::kSuccess;
-  bool fat_binary_registered_ = false;
+  mutable Mutex mutex_;
+  GpuTimeStats stats_ GUARDED_BY(mutex_);
+  CudaError last_error_ GUARDED_BY(mutex_) = CudaError::kSuccess;
+  bool fat_binary_registered_ GUARDED_BY(mutex_) = false;
 };
 
 /// Maps a Status from the device layer onto the CUDA error vocabulary.

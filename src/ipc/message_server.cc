@@ -62,7 +62,7 @@ Status MessageServer::Start(const std::string& path, MessageHandler on_message,
   on_message_ = std::move(on_message);
   on_disconnect_ = std::move(on_disconnect);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     running_ = true;
   }
   reactor_ = std::thread([this] { Run(); });
@@ -77,7 +77,7 @@ void MessageServer::Wake() {
 
 Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = connections_.find(conn);
     if (it == connections_.end()) {
       return NotFoundError("connection " + std::to_string(conn) + " gone");
@@ -90,7 +90,7 @@ Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
 
 void MessageServer::CloseConnection(ConnectionId conn) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = connections_.find(conn);
     if (it == connections_.end()) return;
     it->second.closing = true;
@@ -100,27 +100,27 @@ void MessageServer::CloseConnection(ConnectionId conn) {
 
 void MessageServer::Stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_) return;
     running_ = false;
   }
   Wake();
   if (reactor_.joinable()) reactor_.join();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     connections_.clear();
   }
   listener_.reset();
 }
 
 std::size_t MessageServer::connection_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return connections_.size();
 }
 
 void MessageServer::DropConnection(ConnectionId id) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (connections_.erase(id) == 0) return;
   }
   if (on_disconnect_) on_disconnect_(id);
@@ -133,7 +133,7 @@ void MessageServer::HandleReadable(ConnectionId id) {
   std::vector<json::Json> messages;
   bool drop = false;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = connections_.find(id);
     if (it == connections_.end()) return;
     Connection& conn = it->second;
@@ -191,7 +191,7 @@ void MessageServer::HandleReadable(ConnectionId id) {
 void MessageServer::HandleWritable(ConnectionId id) {
   bool drop = false;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = connections_.find(id);
     if (it == connections_.end()) return;
     Connection& conn = it->second;
@@ -223,7 +223,7 @@ void MessageServer::Run() {
 
   for (;;) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (!running_) break;
       fds.clear();
       ids.clear();
@@ -257,7 +257,7 @@ void MessageServer::Run() {
         const int client = ::accept(listener_->fd(), nullptr, nullptr);
         if (client < 0) break;
         SetNonBlocking(client);
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         const ConnectionId id = next_id_++;
         connections_[id].fd.Reset(client);
       }
@@ -290,7 +290,7 @@ Result<std::unique_ptr<MessageClient>> MessageClient::ConnectUnix(
 }
 
 Status MessageClient::Send(const json::Json& message) {
-  std::lock_guard lock(write_mutex_);
+  MutexLock lock(write_mutex_);
   return WriteMessage(fd_.get(), message);
 }
 

@@ -13,12 +13,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "ipc/fd.h"
 #include "ipc/socket.h"
@@ -80,10 +80,10 @@ class MessageServer {
   MessageHandler on_message_;
   DisconnectHandler on_disconnect_;
 
-  mutable std::mutex mutex_;  // guards connections_ and running_
-  std::map<ConnectionId, Connection> connections_;
-  ConnectionId next_id_ = 1;
-  bool running_ = false;
+  mutable Mutex mutex_;
+  std::map<ConnectionId, Connection> connections_ GUARDED_BY(mutex_);
+  ConnectionId next_id_ GUARDED_BY(mutex_) = 1;
+  bool running_ GUARDED_BY(mutex_) = false;
 };
 
 /// Blocking JSON-message client (used by the wrapper module, the customized
@@ -109,7 +109,7 @@ class MessageClient {
   explicit MessageClient(Fd fd) : fd_(std::move(fd)) {}
 
   Fd fd_;
-  std::mutex write_mutex_;  // Send() may race with itself across threads
+  Mutex write_mutex_;  // Send() may race with itself across threads
 };
 
 }  // namespace convgpu::ipc

@@ -1,0 +1,113 @@
+// LedgerAuditor: the paper's scheduling invariants, machine-checked.
+//
+// The negative tests build ledger states that the ledger's own
+// CheckInvariants() accepts — the books still balance — but that violate a
+// scheduling invariant only the auditor states (a double-charged driver
+// overhead, a stranded suspension). That is exactly the class of bug the
+// auditor exists to catch at the transition that introduces it.
+#include "convgpu/ledger_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "convgpu/ledger.h"
+
+namespace convgpu {
+namespace {
+
+constexpr Bytes kOverhead = 66 * kMiB;
+
+TEST(LedgerAuditorTest, HealthyLedgerPasses) {
+  MemoryLedger ledger(1 * kGiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ASSERT_TRUE(ledger.Reserve("c", 100 * kMiB + kOverhead).ok());
+  ASSERT_TRUE(ledger.Commit("c", 1, 0x1000, 100 * kMiB).ok());
+  ASSERT_TRUE(ledger.ChargeOverhead("c", 1, kOverhead).ok());
+
+  EXPECT_TRUE(LedgerAuditor::Check(ledger, {}, kOverhead).ok());
+}
+
+TEST(LedgerAuditorTest, LegitimateSuspensionPasses) {
+  // Capacity equals the device-side limit, so the container is fully
+  // assigned, the pool is empty, and a request past the assignment is a
+  // genuine suspension.
+  MemoryLedger ledger(566 * kMiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ASSERT_TRUE(ledger.Reserve("c", 500 * kMiB).ok());
+  ASSERT_TRUE(ledger.Commit("c", 2, 0x1000, 500 * kMiB).ok());
+  ledger.MarkSuspended("c", kTimeZero);
+
+  const LedgerAuditor::PendingView pending = {{"c", {{2, 100 * kMiB}}}};
+  EXPECT_TRUE(LedgerAuditor::Check(ledger, pending, kOverhead).ok());
+}
+
+TEST(LedgerAuditorTest, CatchesInjectedOverheadDoubleCount) {
+  // Deliberate double-count: one pid charged 2x66 MiB in a single
+  // ChargeOverhead call. The ledger's used-decomposition still balances
+  // (the bytes moved from in-flight to overhead), so CheckInvariants()
+  // passes — only the auditor's I4 cross-check sees the mismatch between
+  // the charged amount and the number of charged pids.
+  MemoryLedger ledger(1 * kGiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ASSERT_TRUE(ledger.Reserve("c", 100 * kMiB + 2 * kOverhead).ok());
+  ASSERT_TRUE(ledger.Commit("c", 1, 0x1000, 100 * kMiB).ok());
+  ASSERT_TRUE(ledger.ChargeOverhead("c", 1, 2 * kOverhead).ok());
+
+  ASSERT_TRUE(ledger.CheckInvariants().ok());
+  const Status status = LedgerAuditor::Check(ledger, {}, kOverhead);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("I4"), std::string::npos) << status.ToString();
+}
+
+TEST(LedgerAuditorTest, CatchesSuspendedWithoutQueue) {
+  MemoryLedger ledger(1 * kGiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ledger.MarkSuspended("c", kTimeZero);
+
+  const Status status = LedgerAuditor::Check(ledger, {}, kOverhead);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("I5"), std::string::npos) << status.ToString();
+}
+
+TEST(LedgerAuditorTest, CatchesFittingHeadRequest) {
+  // Suspended although the head request fits the assignment: the scheduler
+  // failed to wake a request it could have granted.
+  MemoryLedger ledger(566 * kMiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ASSERT_TRUE(ledger.Reserve("c", 100 * kMiB + kOverhead).ok());
+  ASSERT_TRUE(ledger.Commit("c", 2, 0x1000, 100 * kMiB).ok());
+  ASSERT_TRUE(ledger.ChargeOverhead("c", 2, kOverhead).ok());
+  ledger.MarkSuspended("c", kTimeZero);
+
+  const LedgerAuditor::PendingView pending = {{"c", {{2, 10 * kMiB}}}};
+  const Status status = LedgerAuditor::Check(ledger, pending, kOverhead);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("I5"), std::string::npos) << status.ToString();
+}
+
+TEST(LedgerAuditorTest, CatchesStrandedSuspension) {
+  // Free memory in the pool while a request waits: the redistribution loop
+  // should have drained it. The head request must not fit the assignment
+  // (otherwise I5 fires first).
+  MemoryLedger ledger(2 * kGiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ledger.MarkSuspended("c", kTimeZero);
+
+  const LedgerAuditor::PendingView pending = {{"c", {{7, 600 * kMiB}}}};
+  const Status status = LedgerAuditor::Check(ledger, pending, kOverhead);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("I6"), std::string::npos) << status.ToString();
+}
+
+TEST(LedgerAuditorDeathTest, AuditOrDieAbortsWithDump) {
+  MemoryLedger ledger(1 * kGiB);
+  ASSERT_TRUE(ledger.Register("c", 500 * kMiB, kOverhead, kTimeZero).ok());
+  ASSERT_TRUE(ledger.Reserve("c", 100 * kMiB + 2 * kOverhead).ok());
+  ASSERT_TRUE(ledger.Commit("c", 1, 0x1000, 100 * kMiB).ok());
+  ASSERT_TRUE(ledger.ChargeOverhead("c", 1, 2 * kOverhead).ok());
+
+  EXPECT_DEATH(LedgerAuditor::AuditOrDie(ledger, {}, kOverhead),
+               "LedgerAuditor: invariant violated.*I4.*ledger dump");
+}
+
+}  // namespace
+}  // namespace convgpu

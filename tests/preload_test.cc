@@ -18,17 +18,36 @@
 #include "convgpu/scheduler_server.h"
 #include "tests/test_util.h"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define CONVGPU_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CONVGPU_ASAN_BUILD 1
+#endif
+#endif
+
 namespace convgpu {
 namespace {
 
 using namespace convgpu::literals;
 using convgpu::testing::TempDir;
 
+// In an ASan build the preload library is ASan-instrumented, so LD_PRELOAD
+// puts it ahead of the runtime in the child's initial library list; the
+// child executable links the runtime itself, so the strict ordering check
+// can be relaxed instead of failing the exec.
+void RelaxChildAsanLinkOrder() {
+#ifdef CONVGPU_ASAN_BUILD
+  ::setenv("ASAN_OPTIONS", "verify_asan_link_order=0", 1);
+#endif
+}
+
 int RunChild(const std::vector<std::string>& args,
              const std::vector<std::pair<std::string, std::string>>& env) {
   const pid_t pid = ::fork();
   if (pid < 0) return -1;
   if (pid == 0) {
+    RelaxChildAsanLinkOrder();
     for (const auto& [key, value] : env) {
       ::setenv(key.c_str(), value.c_str(), 1);
     }
@@ -111,6 +130,7 @@ TEST_F(PreloadTest, SchedulerObservesChildAllocations) {
   // Launch via nvdocker-sim in the background through a shell-less fork.
   const pid_t pid = ::fork();
   if (pid == 0) {
+    RelaxChildAsanLinkOrder();
     ::setenv("CONVGPU_SLEEP_MS", "400", 1);
     ::execl(CONVGPU_NVDOCKER_SIM, CONVGPU_NVDOCKER_SIM, "--socket",
             socket.c_str(), "--preload", CONVGPU_PRELOAD_LIB, "run",

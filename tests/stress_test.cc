@@ -1,14 +1,24 @@
 // Concurrency stress: many threads hammering one SchedulerCore through the
 // same paths the daemon uses, checking the mutex discipline and accounting
 // under contention; plus shape pins for the paper's headline results.
+//
+// Runs with the LedgerAuditor compiled in (every non-Release build), so
+// each state transition under contention is also an invariant check; the
+// sanitizer legs of tools/check.sh run these same tests under TSan/ASan.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <thread>
 
+#include "convgpu/protocol.h"
 #include "convgpu/scheduler_core.h"
+#include "convgpu/scheduler_link.h"
+#include "convgpu/scheduler_server.h"
+#include "ipc/message_server.h"
+#include "tests/test_util.h"
 #include "workload/des.h"
 
 namespace convgpu {
@@ -68,6 +78,135 @@ TEST(SchedulerStressTest, ParallelContainersStayConsistent) {
   EXPECT_EQ(core.pending_request_count(), 0u);
   EXPECT_EQ(core.free_pool(), 5_GiB);
   EXPECT_TRUE(core.CheckInvariants().ok());
+}
+
+// The daemon-level hammer: several threads churn containers through the
+// real UNIX-socket surface — register on the main socket, allocate/free on
+// the per-container socket — and every few rounds a client vanishes with a
+// request still in flight (the SIGKILLed-program path the disconnect
+// handler must reclaim). Small capacity forces suspension/redistribution
+// under the churn. Must stay clean under TSan with the auditor on.
+TEST(SchedulerServerHammerTest, SocketChurnWithMidAllocationDisconnects) {
+  using convgpu::testing::TempDir;
+  TempDir dir;
+  SchedulerServerOptions options;
+  options.base_dir = dir.path();
+  options.scheduler.capacity = 1_GiB;
+  options.scheduler.first_alloc_overhead = 66_MiB;
+  SchedulerServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::atomic<int> errors{0};
+
+  auto worker = [&](int thread_index) {
+    auto main_client =
+        ipc::MessageClient::ConnectUnix(server.main_socket_path());
+    if (!main_client.ok()) {
+      ++errors;
+      return;
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      const std::string id =
+          "h" + std::to_string(thread_index) + "r" + std::to_string(round);
+      const Pid pid = 100 * (thread_index + 1) + round;
+      const Bytes size = (64 + 64 * ((thread_index + round) % 3)) * kMiB;
+
+      protocol::RegisterContainer reg;
+      reg.container_id = id;
+      reg.memory_limit = 256_MiB;
+      auto raw = (*main_client)->Call(protocol::Encode(protocol::Message(reg)));
+      if (!raw.ok()) {
+        ++errors;
+        continue;
+      }
+      auto decoded = protocol::Decode(*raw);
+      if (!decoded.ok() ||
+          !std::get<protocol::RegisterReply>(*decoded).ok) {
+        ++errors;
+        continue;
+      }
+      const std::string socket_path = server.container_socket_path(id);
+
+      if (round % 3 == 2) {
+        // Vanishing client: fire the allocation request, then close the
+        // socket without waiting for the reply — possibly while the
+        // request sits suspended in the scheduler's queue.
+        auto victim = ipc::MessageClient::ConnectUnix(socket_path);
+        if (victim.ok()) {
+          protocol::AllocRequest request;
+          request.container_id = id;
+          request.pid = pid;
+          request.size = size;
+          request.api = "cudaMalloc";
+          (void)(*victim)->Send(protocol::Encode(protocol::Message(request)));
+        }
+        // `victim` drops here; the disconnect handler must cancel the
+        // request and reclaim the pid.
+      } else {
+        auto link = SocketSchedulerLink::Connect(socket_path);
+        if (!link.ok()) {
+          ++errors;
+          continue;
+        }
+        protocol::AllocRequest request;
+        request.container_id = id;
+        request.pid = pid;
+        request.size = size;
+        request.api = "cudaMalloc";
+        auto response = (*link)->Call(protocol::Message(request));
+        if (!response.ok()) {
+          ++errors;
+        } else if (const auto* reply =
+                       std::get_if<protocol::AllocReply>(&*response);
+                   reply != nullptr && reply->granted) {
+          const std::uint64_t address =
+              0xA000u + static_cast<std::uint64_t>(round);
+          protocol::AllocCommit commit;
+          commit.container_id = id;
+          commit.pid = pid;
+          commit.address = address;
+          commit.size = size;
+          if (!(*link)->Notify(protocol::Message(commit)).ok()) ++errors;
+          protocol::FreeNotify free_notify;
+          free_notify.container_id = id;
+          free_notify.pid = pid;
+          free_notify.address = address;
+          if (!(*link)->Notify(protocol::Message(free_notify)).ok()) ++errors;
+          protocol::ProcessExit exit_notify;
+          exit_notify.container_id = id;
+          exit_notify.pid = pid;
+          if (!(*link)->Notify(protocol::Message(exit_notify)).ok()) ++errors;
+        }
+      }
+
+      protocol::ContainerClose close;
+      close.container_id = id;
+      if (!(*main_client)->Send(protocol::Encode(protocol::Message(close))).ok()) {
+        ++errors;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) threads.emplace_back(worker, i);
+  for (auto& thread : threads) thread.join();
+
+  // Closes and disconnect cleanups flow through the reactor asynchronously.
+  for (int i = 0; i < 1000; ++i) {
+    if (server.core().pending_request_count() == 0 &&
+        server.core().free_pool() == 1_GiB) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(server.core().pending_request_count(), 0u);
+  EXPECT_EQ(server.core().free_pool(), 1_GiB);
+  EXPECT_TRUE(server.core().CheckInvariants().ok());
+  server.Stop();
 }
 
 // Pins the reproduction's headline shapes so regressions in the scheduler

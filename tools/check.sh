@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Concurrency-correctness build & test matrix for the ConVGPU tree.
+#
+# Legs (each in its own build-* directory so they never poison each other):
+#   1. gcc       — default toolchain, -Werror, full ctest suite
+#   2. tidy      — clang-tidy over src/ (skipped loudly if not installed)
+#   3. tsa       — Clang -Wthread-safety -Werror compile (skipped if no clang)
+#   4. tsan      — -fsanitize=thread build + full ctest suite
+#   5. asan      — -fsanitize=address,undefined build + full ctest suite
+#   6. format    — clang-format --dry-run on tracked sources (skipped if absent)
+#
+# Clang legs are advisory on machines without clang; set CONVGPU_REQUIRE_CLANG=1
+# to turn those skips into failures (CI with clang installed should do this).
+#
+# Usage: tools/check.sh [leg...]   e.g. `tools/check.sh tsan asan`
+set -u
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${CONVGPU_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+REQUIRE_CLANG="${CONVGPU_REQUIRE_CLANG:-0}"
+
+PASS=()
+FAIL=()
+SKIP=()
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+skip_leg() {  # name reason
+  if [ "${REQUIRE_CLANG}" = "1" ]; then
+    echo "FAIL(required): $1 — $2"
+    FAIL+=("$1")
+  else
+    echo "SKIP: $1 — $2"
+    SKIP+=("$1")
+  fi
+}
+
+run_leg() {  # name: run "$@" and record the result
+  local name="$1"; shift
+  if "$@"; then
+    PASS+=("${name}")
+  else
+    FAIL+=("${name}")
+  fi
+}
+
+build_and_test() {  # dir cmake-extra-args...
+  local dir="$1"; shift
+  cmake -B "${ROOT}/${dir}" -S "${ROOT}" "$@" &&
+    cmake --build "${ROOT}/${dir}" -j "${JOBS}" &&
+    ctest --test-dir "${ROOT}/${dir}" --output-on-failure -j "${JOBS}"
+}
+
+leg_gcc() {
+  note "leg: gcc (default toolchain, -Werror, full suite)"
+  run_leg gcc build_and_test build-gcc -DCMAKE_BUILD_TYPE=RelWithDebInfo
+}
+
+leg_tidy() {
+  note "leg: clang-tidy"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    skip_leg tidy "clang-tidy not installed"
+    return
+  fi
+  run_leg tidy tidy_impl
+}
+
+tidy_impl() {
+  cmake -B "${ROOT}/build-tidy" -S "${ROOT}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON || return 1
+  local sources
+  sources=$(find "${ROOT}/src" -name '*.cc') || return 1
+  # shellcheck disable=SC2086
+  clang-tidy -p "${ROOT}/build-tidy" --quiet ${sources}
+}
+
+leg_tsa() {
+  note "leg: Clang thread-safety analysis (-Wthread-safety -Werror)"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    skip_leg tsa "clang++ not installed (annotations compile to no-ops under GCC)"
+    return
+  fi
+  run_leg tsa build_and_test build-tsa \
+          -DCMAKE_CXX_COMPILER=clang++ -DCONVGPU_THREAD_SAFETY=ON
+}
+
+leg_tsan() {
+  note "leg: ThreadSanitizer (full suite, suppressions=tools/tsan.supp)"
+  run_leg tsan tsan_impl
+}
+
+tsan_impl() {
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONVGPU_SANITIZE=thread &&
+    cmake --build "${ROOT}/build-tsan" -j "${JOBS}" &&
+    TSAN_OPTIONS="suppressions=${ROOT}/tools/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}"
+}
+
+leg_asan() {
+  note "leg: AddressSanitizer + UBSan (full suite)"
+  run_leg asan asan_impl
+}
+
+asan_impl() {
+  cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCONVGPU_SANITIZE=address,undefined &&
+    cmake --build "${ROOT}/build-asan" -j "${JOBS}" &&
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+      ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}"
+}
+
+leg_format() {
+  note "leg: clang-format (dry run, tracked sources)"
+  if ! command -v clang-format >/dev/null 2>&1; then
+    skip_leg format "clang-format not installed"
+    return
+  fi
+  run_leg format format_impl
+}
+
+format_impl() {
+  git -C "${ROOT}" ls-files '*.cc' '*.h' '*.cpp' |
+    (cd "${ROOT}" && xargs clang-format --dry-run -Werror)
+}
+
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+  LEGS=(gcc tidy tsa tsan asan format)
+fi
+
+for leg in "${LEGS[@]}"; do
+  case "${leg}" in
+    gcc) leg_gcc ;;
+    tidy) leg_tidy ;;
+    tsa) leg_tsa ;;
+    tsan) leg_tsan ;;
+    asan) leg_asan ;;
+    format) leg_format ;;
+    *) echo "unknown leg: ${leg}"; FAIL+=("${leg}") ;;
+  esac
+done
+
+note "summary"
+[ ${#PASS[@]} -gt 0 ] && echo "passed:  ${PASS[*]}"
+[ ${#SKIP[@]} -gt 0 ] && echo "skipped: ${SKIP[*]}"
+if [ ${#FAIL[@]} -gt 0 ]; then
+  echo "FAILED:  ${FAIL[*]}"
+  exit 1
+fi
+echo "all run legs passed"
