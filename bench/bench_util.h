@@ -65,8 +65,9 @@ class PaperTestbed {
     protocol::RegisterContainer request;
     request.container_id = "bench";
     request.memory_limit = limit;
-    auto reply = (*client)->Call(protocol::Encode(protocol::Message(request)));
-    if (!reply.ok()) std::abort();
+    auto reply = protocol::Expect<protocol::RegisterReply>(
+        protocol::Call(**client, protocol::Message(request)));
+    if (!reply.ok() || !reply->ok) std::abort();
   }
 
   static constexpr Pid kNativePid = 111;

@@ -123,14 +123,9 @@ Result<RunResult> NvDocker::RegisterWithScheduler(const std::string& key,
     protocol::RegisterContainer request;
     request.container_id = key;
     request.memory_limit = limit;
-    auto raw = (*client)->Call(protocol::Encode(protocol::Message(request)));
-    if (!raw.ok()) return raw.status();
-    auto decoded = protocol::Decode(*raw);
-    if (!decoded.ok()) return decoded.status();
-    const auto* reply = std::get_if<protocol::RegisterReply>(&*decoded);
-    if (reply == nullptr) {
-      return InternalError("unexpected reply to register_container");
-    }
+    auto reply = protocol::Expect<protocol::RegisterReply>(
+        protocol::Call(**client, protocol::Message(request)));
+    if (!reply.ok()) return reply.status();
     if (!reply->ok) {
       return FailedPreconditionError("scheduler refused container: " +
                                      reply->error);

@@ -36,7 +36,7 @@ void NvDockerPlugin::SendClose(const std::string& scheduler_key) {
     }
     protocol::ContainerClose close;
     close.container_id = scheduler_key;
-    (void)(*client)->Send(protocol::Encode(protocol::Message(close)));
+    (void)protocol::Notify(**client, protocol::Message(close));
     return;
   }
   if (options_.direct_core != nullptr) {

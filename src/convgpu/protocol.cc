@@ -1,5 +1,7 @@
 #include "convgpu/protocol.h"
 
+#include "ipc/message_server.h"
+
 namespace convgpu::protocol {
 
 namespace {
@@ -33,7 +35,7 @@ Result<std::int64_t> ReqInt(const Json& j, std::string_view type,
 
 }  // namespace
 
-json::Json Encode(const Message& message) {
+json::Json Serialize(const Message& message) {
   return std::visit(
       [](const auto& m) -> Json {
         using T = std::decay_t<decltype(m)>;
@@ -154,7 +156,7 @@ std::string_view TypeName(const Message& message) {
       message);
 }
 
-Result<Message> Decode(const json::Json& j) {
+Result<Message> Parse(const json::Json& j) {
   auto type = j.GetString("type");
   if (!type) return InvalidArgumentError("message missing 'type'");
 
@@ -294,6 +296,16 @@ Result<Message> Decode(const json::Json& j) {
     return Message(m);
   }
   return InvalidArgumentError("unknown message type: " + *type);
+}
+
+Result<Message> Call(ipc::MessageClient& client, const Message& request) {
+  auto reply = client.Call(Serialize(request));
+  if (!reply.ok()) return reply.status();
+  return Parse(*reply);
+}
+
+Status Notify(ipc::MessageClient& client, const Message& message) {
+  return client.Send(Serialize(message));
 }
 
 }  // namespace convgpu::protocol

@@ -117,13 +117,66 @@ using Message =
                  StatsRequest, StatsReply>;
 
 /// Serializes any message (adds the "type" discriminator).
-json::Json Encode(const Message& message);
+json::Json Serialize(const Message& message);
 
 /// Parses a message by its "type" field. kInvalidArgument for unknown types
 /// or missing required fields.
-Result<Message> Decode(const json::Json& value);
+Result<Message> Parse(const json::Json& value);
 
-/// The "type" string a given alternative encodes to (for tests/logging).
+/// The "type" string a given alternative serializes to (for tests/logging).
 std::string_view TypeName(const Message& message);
+
+/// Overload set for Dispatch: one callable per message type the caller
+/// handles, plus a generic arm for everything else, e.g.
+///
+///   protocol::Dispatch(frame, protocol::Visitor{
+///       [&](const protocol::AllocRequest& request) { ... },
+///       [&](const protocol::Ping&) { ... },
+///       [&](const auto& other) { /* unexpected type */ },
+///   });
+template <typename... Fns>
+struct Visitor : Fns... {
+  using Fns::operator()...;
+};
+template <typename... Fns>
+Visitor(Fns...) -> Visitor<Fns...>;
+
+/// The typed entry point for raw wire frames: parses `frame` and visits the
+/// decoded message. Malformed frames are rejected here — the returned
+/// status is the parse error and the visitor never runs — so handlers never
+/// touch raw json::Json.
+template <typename V>
+Status Dispatch(const json::Json& frame, V&& visitor) {
+  auto message = Parse(frame);
+  if (!message.ok()) return message.status();
+  std::visit(std::forward<V>(visitor), *message);
+  return Status::Ok();
+}
+
+/// Narrows a decoded reply to the expected alternative; kInvalidArgument
+/// (naming the actual type) on a mismatched reply.
+template <typename T>
+Result<T> Expect(Result<Message> reply) {
+  if (!reply.ok()) return reply.status();
+  if (auto* typed = std::get_if<T>(&*reply)) return std::move(*typed);
+  return InvalidArgumentError("unexpected reply type: " +
+                              std::string(TypeName(*reply)));
+}
+
+}  // namespace convgpu::protocol
+
+namespace convgpu::ipc {
+class MessageClient;
+}  // namespace convgpu::ipc
+
+namespace convgpu::protocol {
+
+/// Typed request/reply over a blocking client: Serialize, send, block for
+/// one frame, Parse. Suspended allocation replies block here, exactly like
+/// the raw client.
+Result<Message> Call(ipc::MessageClient& client, const Message& request);
+
+/// Typed one-way send.
+Status Notify(ipc::MessageClient& client, const Message& message);
 
 }  // namespace convgpu::protocol

@@ -15,14 +15,11 @@ Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
 Result<protocol::Message> SocketSchedulerLink::Call(
     const protocol::Message& request) {
   MutexLock lock(call_mutex_);
-  CONVGPU_RETURN_IF_ERROR(client_->Send(protocol::Encode(request)));
-  auto reply = client_->Recv();
-  if (!reply.ok()) return reply.status();
-  return protocol::Decode(*reply);
+  return protocol::Call(*client_, request);
 }
 
 Status SocketSchedulerLink::Notify(const protocol::Message& message) {
-  return client_->Send(protocol::Encode(message));
+  return protocol::Notify(*client_, message);
 }
 
 Result<protocol::Message> DirectSchedulerLink::Call(

@@ -35,12 +35,17 @@ Status SchedulerServer::Start() {
     return InternalError("cannot create base dir " + options_.base_dir + ": " +
                          ec.message());
   }
-  auto status = main_server_.Start(
+  auto status = reactor_.Start();
+  if (!status.ok()) return status;
+  auto main_listener = reactor_.AddListener(
       main_socket_path(),
-      [this](ipc::ConnectionId conn, json::Json message) {
+      [this](ipc::ListenerId, ipc::ConnectionId conn, json::Json message) {
         HandleMain(conn, std::move(message));
       });
-  if (!status.ok()) return status;
+  if (!main_listener.ok()) {
+    reactor_.Stop();
+    return main_listener.status();
+  }
   {
     MutexLock lock(mutex_);
     started_ = true;
@@ -52,23 +57,28 @@ Status SchedulerServer::Start() {
 }
 
 void SchedulerServer::Stop() {
-  std::map<std::string, std::shared_ptr<ContainerChannel>> channels;
   {
     MutexLock lock(mutex_);
     if (!started_) return;
     started_ = false;
-    channels.swap(channels_);
+    channels_.clear();
   }
-  for (auto& [id, channel] : channels) channel->server->Stop();
-  main_server_.Stop();
+  // One reactor serves every socket: stopping it tears down the main
+  // listener, all container listeners, and all connections at once.
+  reactor_.Stop();
+}
+
+void SchedulerServer::Reply(ipc::ConnectionId conn,
+                            const protocol::Message& message) {
+  (void)reactor_.Send(conn, protocol::Serialize(message));
 }
 
 protocol::RegisterReply SchedulerServer::DoRegister(
     const protocol::RegisterContainer& request) {
   protocol::RegisterReply reply;
   {
-    // A registration racing Stop() must not start a channel server that
-    // nobody will ever stop.
+    // A registration racing Stop() must not add a channel listener that
+    // nobody will ever remove.
     MutexLock lock(mutex_);
     if (!started_) {
       reply.error = "scheduler is shutting down";
@@ -105,21 +115,24 @@ protocol::RegisterReply SchedulerServer::DoRegister(
   auto channel = std::make_shared<ContainerChannel>();
   channel->dir = dir;
   channel->socket_path = dir + "/convgpu.sock";
-  channel->server = std::make_unique<ipc::MessageServer>();
   const std::string container_id = request.container_id;
-  auto start_status = channel->server->Start(
+  // The container's socket is one more listener on the shared reactor — no
+  // thread or wake-pipe of its own.
+  auto listener = reactor_.AddListener(
       channel->socket_path,
-      [this, container_id](ipc::ConnectionId conn, json::Json message) {
+      [this, container_id](ipc::ListenerId, ipc::ConnectionId conn,
+                           json::Json message) {
         HandleContainer(container_id, conn, std::move(message));
       },
-      [this, container_id](ipc::ConnectionId conn) {
+      [this, container_id](ipc::ListenerId, ipc::ConnectionId conn) {
         HandleContainerDisconnect(container_id, conn);
       });
-  if (!start_status.ok()) {
+  if (!listener.ok()) {
     (void)core_.ContainerClose(request.container_id);
-    reply.error = start_status.ToString();
+    reply.error = listener.status().ToString();
     return reply;
   }
+  channel->listener = *listener;
 
   {
     MutexLock lock(mutex_);
@@ -127,7 +140,7 @@ protocol::RegisterReply SchedulerServer::DoRegister(
       // Stop() ran while the channel was being built; it will never see
       // this channel, so tear it down here.
       lock.Unlock();
-      channel->server->Stop();
+      (void)reactor_.RemoveListener(channel->listener);
       (void)core_.ContainerClose(request.container_id);
       reply.error = "scheduler is shutting down";
       return reply;
@@ -138,6 +151,24 @@ protocol::RegisterReply SchedulerServer::DoRegister(
   reply.socket_dir = dir;
   reply.socket_path = channel->socket_path;
   return reply;
+}
+
+void SchedulerServer::DoContainerClose(const std::string& container_id) {
+  // Releasing memory first lets suspended requests of *other* containers be
+  // granted (their replies are queued before this container's listener is
+  // removed), and answers this container's own suspended requests with
+  // kAborted — those replies flush before the connections drop.
+  (void)core_.ContainerClose(container_id);
+  std::shared_ptr<ContainerChannel> channel;
+  {
+    MutexLock lock(mutex_);
+    auto it = channels_.find(container_id);
+    if (it != channels_.end()) {
+      channel = it->second;
+      channels_.erase(it);
+    }
+  }
+  if (channel) (void)reactor_.RemoveListener(channel->listener);
 }
 
 protocol::StatsReply SchedulerServer::BuildStats() const {
@@ -160,55 +191,32 @@ protocol::StatsReply SchedulerServer::BuildStats() const {
 }
 
 void SchedulerServer::HandleMain(ipc::ConnectionId conn, json::Json message) {
-  auto decoded = protocol::Decode(message);
-  if (!decoded.ok()) {
+  auto dispatched = protocol::Dispatch(
+      message,
+      protocol::Visitor{
+          [&](const protocol::RegisterContainer& request) {
+            Reply(conn, DoRegister(request));
+          },
+          [&](const protocol::ContainerClose& close) {
+            DoContainerClose(close.container_id);
+          },
+          [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}); },
+          [&](const protocol::StatsRequest&) { Reply(conn, BuildStats()); },
+          [&](const auto& other) {
+            CONVGPU_LOG(kWarn, kTag)
+                << "unexpected message on main socket: "
+                << protocol::TypeName(protocol::Message(other));
+          },
+      });
+  if (!dispatched.ok()) {
     CONVGPU_LOG(kWarn, kTag) << "bad main-socket message: "
-                             << decoded.status().ToString();
-    return;
+                             << dispatched.ToString();
   }
-  if (auto* request = std::get_if<protocol::RegisterContainer>(&*decoded)) {
-    auto reply = DoRegister(*request);
-    (void)main_server_.Send(conn, protocol::Encode(protocol::Message(reply)));
-    return;
-  }
-  if (auto* close = std::get_if<protocol::ContainerClose>(&*decoded)) {
-    const std::string id = close->container_id;
-    (void)core_.ContainerClose(id);
-    std::shared_ptr<ContainerChannel> channel;
-    {
-      MutexLock lock(mutex_);
-      auto it = channels_.find(id);
-      if (it != channels_.end()) {
-        channel = it->second;
-        channels_.erase(it);
-      }
-    }
-    if (channel) channel->server->Stop();
-    return;
-  }
-  if (std::holds_alternative<protocol::Ping>(*decoded)) {
-    (void)main_server_.Send(conn, protocol::Encode(protocol::Message(protocol::Pong{})));
-    return;
-  }
-  if (std::holds_alternative<protocol::StatsRequest>(*decoded)) {
-    (void)main_server_.Send(conn,
-                            protocol::Encode(protocol::Message(BuildStats())));
-    return;
-  }
-  CONVGPU_LOG(kWarn, kTag) << "unexpected message on main socket: "
-                           << protocol::TypeName(*decoded);
 }
 
 void SchedulerServer::HandleContainer(const std::string& container_id,
                                       ipc::ConnectionId conn,
                                       json::Json message) {
-  auto decoded = protocol::Decode(message);
-  if (!decoded.ok()) {
-    CONVGPU_LOG(kWarn, kTag) << "bad container message: "
-                             << decoded.status().ToString();
-    return;
-  }
-
   std::shared_ptr<ContainerChannel> channel;
   {
     MutexLock lock(mutex_);
@@ -223,61 +231,63 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
     channel->pids_by_conn[conn].insert(pid);
   };
 
-  if (auto* request = std::get_if<protocol::AllocRequest>(&*decoded)) {
-    note_pid(request->pid);
-    // The reply may be deferred (suspension) and fire from whichever thread
-    // releases memory, possibly after this container was closed and erased
-    // from channels_ — the callback must keep the channel alive (a raw
-    // MessageServer* here is a use-after-free under that race).
-    core_.RequestAlloc(
-        container_id, request->pid, request->size,
-        [channel, conn](const Status& status) {
-          protocol::AllocReply reply;
-          reply.granted = status.ok();
-          if (!status.ok()) reply.error = status.ToString();
-          (void)channel->server->Send(
-              conn, protocol::Encode(protocol::Message(reply)));
-        });
-    return;
+  auto dispatched = protocol::Dispatch(
+      message,
+      protocol::Visitor{
+          [&](const protocol::AllocRequest& request) {
+            note_pid(request.pid);
+            // The reply may be deferred (suspension) and fire from whichever
+            // thread releases memory, possibly after this container was
+            // closed and its listener removed — the shared reactor outlives
+            // every channel, and Send() on a vanished connection is a clean
+            // kNotFound.
+            core_.RequestAlloc(
+                container_id, request.pid, request.size,
+                [this, conn](const Status& status) {
+                  protocol::AllocReply reply;
+                  reply.granted = status.ok();
+                  if (!status.ok()) reply.error = status.ToString();
+                  Reply(conn, reply);
+                });
+          },
+          [&](const protocol::AllocCommit& commit) {
+            note_pid(commit.pid);
+            (void)core_.CommitAlloc(container_id, commit.pid, commit.address,
+                                    commit.size);
+          },
+          [&](const protocol::AllocAbort& abort) {
+            (void)core_.AbortAlloc(container_id, abort.pid, abort.size);
+          },
+          [&](const protocol::FreeNotify& free) {
+            (void)core_.FreeAlloc(container_id, free.pid, free.address);
+          },
+          [&](const protocol::MemGetInfoRequest&) {
+            protocol::MemInfoReply reply;
+            auto result = core_.MemGetInfo(container_id);
+            if (result.ok()) {
+              reply.free = result->free;
+              reply.total = result->total;
+            }
+            Reply(conn, reply);
+          },
+          [&](const protocol::ProcessExit& exit) {
+            (void)core_.ProcessExit(container_id, exit.pid);
+            MutexLock lock(channel->pids_mutex);
+            for (auto& [cid, pids] : channel->pids_by_conn) {
+              pids.erase(exit.pid);
+            }
+          },
+          [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}); },
+          [&](const auto& other) {
+            CONVGPU_LOG(kWarn, kTag)
+                << "unexpected message on container socket: "
+                << protocol::TypeName(protocol::Message(other));
+          },
+      });
+  if (!dispatched.ok()) {
+    CONVGPU_LOG(kWarn, kTag) << "bad container message: "
+                             << dispatched.ToString();
   }
-  if (auto* commit = std::get_if<protocol::AllocCommit>(&*decoded)) {
-    note_pid(commit->pid);
-    (void)core_.CommitAlloc(container_id, commit->pid, commit->address,
-                            commit->size);
-    return;
-  }
-  if (auto* abort = std::get_if<protocol::AllocAbort>(&*decoded)) {
-    (void)core_.AbortAlloc(container_id, abort->pid, abort->size);
-    return;
-  }
-  if (auto* free = std::get_if<protocol::FreeNotify>(&*decoded)) {
-    (void)core_.FreeAlloc(container_id, free->pid, free->address);
-    return;
-  }
-  if (std::get_if<protocol::MemGetInfoRequest>(&*decoded) != nullptr) {
-    protocol::MemInfoReply reply;
-    auto result = core_.MemGetInfo(container_id);
-    if (result.ok()) {
-      reply.free = result->free;
-      reply.total = result->total;
-    }
-    (void)channel->server->Send(conn,
-                                protocol::Encode(protocol::Message(reply)));
-    return;
-  }
-  if (auto* exit = std::get_if<protocol::ProcessExit>(&*decoded)) {
-    (void)core_.ProcessExit(container_id, exit->pid);
-    MutexLock lock(channel->pids_mutex);
-    for (auto& [cid, pids] : channel->pids_by_conn) pids.erase(exit->pid);
-    return;
-  }
-  if (std::holds_alternative<protocol::Ping>(*decoded)) {
-    (void)channel->server->Send(
-        conn, protocol::Encode(protocol::Message(protocol::Pong{})));
-    return;
-  }
-  CONVGPU_LOG(kWarn, kTag) << "unexpected message on container socket: "
-                           << protocol::TypeName(*decoded);
 }
 
 void SchedulerServer::HandleContainerDisconnect(const std::string& container_id,

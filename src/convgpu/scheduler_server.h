@@ -7,6 +7,11 @@
 // directory containing that container's own UNIX socket (and a copy of the
 // wrapper module when configured) — the directory nvidia-docker bind-mounts
 // into the container.
+//
+// All sockets — the main one and every per-container one — are listeners on
+// ONE shared ipc::MessageServer reactor: with N registered containers the
+// daemon runs exactly one reactor thread, not N+1. A container channel is a
+// ListenerId on that reactor, added at registration and removed at close.
 #pragma once
 
 #include <map>
@@ -52,9 +57,15 @@ class SchedulerServer {
   [[nodiscard]] SchedulerCore& core() { return core_; }
   [[nodiscard]] const SchedulerCore& core() const { return core_; }
 
+  /// Live listener count on the shared reactor: main socket + one per
+  /// registered container (introspection for tests/tooling).
+  [[nodiscard]] std::size_t listener_count() const {
+    return reactor_.listener_count();
+  }
+
  private:
   struct ContainerChannel {
-    std::unique_ptr<ipc::MessageServer> server;
+    ipc::ListenerId listener = 0;  // this container's socket on the reactor
     std::string socket_path;
     std::string dir;
     Mutex pids_mutex;
@@ -70,11 +81,17 @@ class SchedulerServer {
   void HandleContainerDisconnect(const std::string& container_id,
                                  ipc::ConnectionId conn);
   protocol::RegisterReply DoRegister(const protocol::RegisterContainer& request);
+  void DoContainerClose(const std::string& container_id);
   protocol::StatsReply BuildStats() const;
+  /// Serializes and queues `message` on `conn`; a failed send (vanished
+  /// client, backpressure kick) is the client's problem, not the daemon's.
+  void Reply(ipc::ConnectionId conn, const protocol::Message& message);
 
   SchedulerServerOptions options_;
+  /// Declared before core_ so a grant callback firing during core_ teardown
+  /// still finds a live (stopped) reactor.
+  ipc::MessageServer reactor_;
   SchedulerCore core_;
-  ipc::MessageServer main_server_;
 
   mutable Mutex mutex_;
   std::map<std::string, std::shared_ptr<ContainerChannel>> channels_

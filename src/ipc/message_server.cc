@@ -1,10 +1,16 @@
 #include "ipc/message_server.h"
 
 #include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -39,17 +45,15 @@ std::string FrameBytes(const json::Json& message) {
 
 MessageServer::~MessageServer() { Stop(); }
 
-Status MessageServer::Start(const std::string& path, MessageHandler on_message,
-                            DisconnectHandler on_disconnect) {
-  if (reactor_.joinable()) {
+Status MessageServer::Start() {
+  MutexLock lock(mutex_);
+  return StartLocked();
+}
+
+Status MessageServer::StartLocked() {
+  if (running_ || reactor_.joinable()) {
     return FailedPreconditionError("server already started");
   }
-  auto listener = UnixListener::Bind(path);
-  if (!listener.ok()) return listener.status();
-  listener_.emplace(std::move(*listener));
-  path_ = path;
-  SetNonBlocking(listener_->fd());
-
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
     return InternalError(std::string("pipe: ") + std::strerror(errno));
@@ -58,18 +62,94 @@ Status MessageServer::Start(const std::string& path, MessageHandler on_message,
   wake_write_.Reset(pipe_fds[1]);
   SetNonBlocking(wake_read_.get());
   SetNonBlocking(wake_write_.get());
-
-  on_message_ = std::move(on_message);
-  on_disconnect_ = std::move(on_disconnect);
-  {
-    MutexLock lock(mutex_);
-    running_ = true;
+#ifdef __linux__
+  epoll_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    return InternalError(std::string("epoll_create1: ") + std::strerror(errno));
   }
+  PollerAdd(wake_read_.get(), kWakeKey);
+#endif
+  running_ = true;
   reactor_ = std::thread([this] { Run(); });
   return Status::Ok();
 }
 
-void MessageServer::Wake() {
+Status MessageServer::Start(const std::string& path,
+                            SimpleMessageHandler on_message,
+                            SimpleDisconnectHandler on_disconnect) {
+  CONVGPU_RETURN_IF_ERROR(Start());
+  MessageHandler wrapped_message;
+  if (on_message) {
+    wrapped_message = [handler = std::move(on_message)](
+                          ListenerId, ConnectionId conn, json::Json message) {
+      handler(conn, std::move(message));
+    };
+  }
+  DisconnectHandler wrapped_disconnect;
+  if (on_disconnect) {
+    wrapped_disconnect = [handler = std::move(on_disconnect)](
+                             ListenerId, ConnectionId conn) { handler(conn); };
+  }
+  auto added = AddListener(path, std::move(wrapped_message),
+                           std::move(wrapped_disconnect));
+  if (!added.ok()) {
+    Stop();
+    return added.status();
+  }
+  return Status::Ok();
+}
+
+Result<ListenerId> MessageServer::AddListener(const std::string& path,
+                                              MessageHandler on_message,
+                                              DisconnectHandler on_disconnect) {
+  auto bound = UnixListener::Bind(path);
+  if (!bound.ok()) return bound.status();
+  SetNonBlocking(bound->fd());
+  auto callbacks = std::make_shared<const Callbacks>(
+      Callbacks{std::move(on_message), std::move(on_disconnect)});
+  {
+    MutexLock lock(mutex_);
+    if (!running_) {
+      // Racing (or after) Stop(): `bound` still owns the fd, so failing
+      // here releases it and unlinks the path — no leak into a reactor
+      // that will never service it.
+      return FailedPreconditionError("server is stopped");
+    }
+    const ListenerId id = next_id_++;
+    Listener& listener = listeners_[id];
+    listener.socket.emplace(std::move(*bound));
+    listener.callbacks = std::move(callbacks);
+    PollerAdd(listener.socket->fd(), ListenerKey(id));
+    if (first_path_.empty()) first_path_ = path;
+    WakeLocked();  // the poll() fallback rebuilds its fd set on wake-up
+    return id;
+  }
+}
+
+Status MessageServer::RemoveListener(ListenerId listener) {
+  {
+    MutexLock lock(mutex_);
+    auto it = listeners_.find(listener);
+    if (it == listeners_.end()) {
+      return NotFoundError("listener " + std::to_string(listener) +
+                           " unknown");
+    }
+    PollerRemove(it->second.socket->fd());
+    listeners_.erase(it);  // closes the fd and unlinks the socket path
+    // Existing connections flush their queued replies, then drop.
+    for (auto& [conn_id, conn] : connections_) {
+      if (conn.listener == listener) {
+        conn.closing = true;
+        dirty_.push_back(conn_id);
+      }
+    }
+    WakeLocked();
+  }
+  return Status::Ok();
+}
+
+void MessageServer::WakeLocked() {
+  if (!wake_write_.valid()) return;
   const char byte = 'w';
   // Best effort; a full pipe already guarantees a pending wakeup.
   [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
@@ -82,20 +162,39 @@ Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
     if (it == connections_.end()) {
       return NotFoundError("connection " + std::to_string(conn) + " gone");
     }
-    it->second.write_queue.push_back(FrameBytes(message));
+    Connection& connection = it->second;
+    std::string frame = FrameBytes(message);
+    if (connection.queued_bytes + frame.size() >
+        options_.max_queued_bytes_per_connection) {
+      // Backpressure: a consumer that stopped reading must not grow the
+      // queue unboundedly — disconnect it instead.
+      CONVGPU_LOG(kWarn, kTag)
+          << "disconnecting connection " << conn << ": write queue over cap ("
+          << connection.queued_bytes << " + " << frame.size() << " > "
+          << options_.max_queued_bytes_per_connection << " bytes)";
+      connection.kicked = true;
+      dirty_.push_back(conn);
+      if (reactor_tid_ != std::this_thread::get_id()) WakeLocked();
+      return ResourceExhaustedError("connection " + std::to_string(conn) +
+                                    " write queue over cap");
+    }
+    connection.queued_bytes += frame.size();
+    connection.write_queue.push_back(std::move(frame));
+    dirty_.push_back(conn);
+    // The reactor flushes dirty connections at the end of the current
+    // iteration; only foreign threads need to interrupt the wait.
+    if (reactor_tid_ != std::this_thread::get_id()) WakeLocked();
   }
-  Wake();
   return Status::Ok();
 }
 
 void MessageServer::CloseConnection(ConnectionId conn) {
-  {
-    MutexLock lock(mutex_);
-    auto it = connections_.find(conn);
-    if (it == connections_.end()) return;
-    it->second.closing = true;
-  }
-  Wake();
+  MutexLock lock(mutex_);
+  auto it = connections_.find(conn);
+  if (it == connections_.end()) return;
+  it->second.closing = true;
+  dirty_.push_back(conn);
+  if (reactor_tid_ != std::this_thread::get_id()) WakeLocked();
 }
 
 void MessageServer::Stop() {
@@ -103,14 +202,27 @@ void MessageServer::Stop() {
     MutexLock lock(mutex_);
     if (!running_) return;
     running_ = false;
+    WakeLocked();
   }
-  Wake();
   if (reactor_.joinable()) reactor_.join();
-  {
-    MutexLock lock(mutex_);
-    connections_.clear();
-  }
-  listener_.reset();
+  MutexLock lock(mutex_);
+  connections_.clear();
+  listeners_.clear();
+  dirty_.clear();
+  epoll_.Reset();
+  wake_read_.Reset();
+  wake_write_.Reset();
+}
+
+std::string MessageServer::socket_path() const {
+  MutexLock lock(mutex_);
+  return first_path_;
+}
+
+std::string MessageServer::listener_path(ListenerId listener) const {
+  MutexLock lock(mutex_);
+  auto it = listeners_.find(listener);
+  return it == listeners_.end() ? std::string() : it->second.socket->path();
 }
 
 std::size_t MessageServer::connection_count() const {
@@ -118,12 +230,45 @@ std::size_t MessageServer::connection_count() const {
   return connections_.size();
 }
 
+std::size_t MessageServer::listener_count() const {
+  MutexLock lock(mutex_);
+  return listeners_.size();
+}
+
 void MessageServer::DropConnection(ConnectionId id) {
+  ListenerId listener = 0;
+  std::shared_ptr<const Callbacks> callbacks;
   {
     MutexLock lock(mutex_);
-    if (connections_.erase(id) == 0) return;
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    PollerRemove(it->second.fd.get());
+    listener = it->second.listener;
+    callbacks = std::move(it->second.callbacks);
+    connections_.erase(it);
   }
-  if (on_disconnect_) on_disconnect_(id);
+  if (callbacks && callbacks->on_disconnect) {
+    callbacks->on_disconnect(listener, id);
+  }
+}
+
+void MessageServer::AcceptPending(ListenerId id) {
+  // Accepting under the lock keeps the listener fd pinned: RemoveListener
+  // cannot close (and a concurrent AddListener reuse) it mid-accept.
+  MutexLock lock(mutex_);
+  auto it = listeners_.find(id);
+  if (it == listeners_.end()) return;
+  for (;;) {
+    const int client = ::accept(it->second.socket->fd(), nullptr, nullptr);
+    if (client < 0) break;
+    SetNonBlocking(client);
+    const ConnectionId conn_id = next_id_++;
+    Connection& conn = connections_[conn_id];
+    conn.fd.Reset(client);
+    conn.listener = id;
+    conn.callbacks = it->second.callbacks;
+    PollerAdd(client, ConnectionKey(conn_id));
+  }
 }
 
 void MessageServer::HandleReadable(ConnectionId id) {
@@ -131,12 +276,16 @@ void MessageServer::HandleReadable(ConnectionId id) {
   // complete frames. The handler may call Send()/CloseConnection(), which
   // take the mutex, so the buffer is copied out before dispatching.
   std::vector<json::Json> messages;
+  ListenerId listener = 0;
+  std::shared_ptr<const Callbacks> callbacks;
   bool drop = false;
   {
     MutexLock lock(mutex_);
     auto it = connections_.find(id);
     if (it == connections_.end()) return;
     Connection& conn = it->second;
+    listener = conn.listener;
+    callbacks = conn.callbacks;
 
     char chunk[4096];
     for (;;) {
@@ -157,7 +306,8 @@ void MessageServer::HandleReadable(ConnectionId id) {
 
     // Extract complete frames.
     while (conn.read_buffer.size() >= 4) {
-      const auto* b = reinterpret_cast<const unsigned char*>(conn.read_buffer.data());
+      const auto* b =
+          reinterpret_cast<const unsigned char*>(conn.read_buffer.data());
       const std::uint32_t length = (static_cast<std::uint32_t>(b[0]) << 24) |
                                    (static_cast<std::uint32_t>(b[1]) << 16) |
                                    (static_cast<std::uint32_t>(b[2]) << 8) |
@@ -182,8 +332,10 @@ void MessageServer::HandleReadable(ConnectionId id) {
     }
   }
 
-  for (auto& message : messages) {
-    if (on_message_) on_message_(id, std::move(message));
+  if (callbacks && callbacks->on_message) {
+    for (auto& message : messages) {
+      callbacks->on_message(listener, id, std::move(message));
+    }
   }
   if (drop) DropConnection(id);
 }
@@ -201,39 +353,153 @@ void MessageServer::HandleWritable(ConnectionId id) {
           ::send(conn.fd.get(), frame.data() + conn.write_offset,
                  frame.size() - conn.write_offset, MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          PollerWantWrite(conn, id, true);
+          return;
+        }
         if (errno == EINTR) continue;
         drop = true;
         break;
       }
       conn.write_offset += static_cast<std::size_t>(n);
       if (conn.write_offset == frame.size()) {
+        conn.queued_bytes -= frame.size();
         conn.write_queue.pop_front();
         conn.write_offset = 0;
       }
     }
-    if (!drop && conn.closing && conn.write_queue.empty()) drop = true;
+    if (!drop) {
+      PollerWantWrite(conn, id, false);
+      if (conn.closing && conn.write_queue.empty()) drop = true;
+    }
   }
   if (drop) DropConnection(id);
 }
 
+void MessageServer::FlushDirty() {
+  std::vector<ConnectionId> dirty;
+  {
+    MutexLock lock(mutex_);
+    dirty.swap(dirty_);
+  }
+  for (const ConnectionId id : dirty) {
+    bool kicked = false;
+    {
+      MutexLock lock(mutex_);
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      kicked = it->second.kicked;
+    }
+    if (kicked) {
+      DropConnection(id);  // over the write cap: no point flushing
+    } else {
+      HandleWritable(id);
+    }
+  }
+}
+
+#ifdef __linux__
+
+void MessageServer::PollerAdd(int fd, std::uint64_t key) {
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = key;
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &event);
+}
+
+void MessageServer::PollerRemove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void MessageServer::PollerWantWrite(Connection& conn, ConnectionId id,
+                                    bool enable) {
+  if (conn.want_write == enable) return;
+  epoll_event event{};
+  event.events = EPOLLIN | (enable ? EPOLLOUT : 0u);
+  event.data.u64 = ConnectionKey(id);
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd.get(), &event);
+  conn.want_write = enable;
+}
+
 void MessageServer::Run() {
+  {
+    MutexLock lock(mutex_);
+    reactor_tid_ = std::this_thread::get_id();
+  }
+  std::array<epoll_event, 64> events;
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (!running_) break;
+    }
+    const int ready = ::epoll_wait(epoll_.get(), events.data(),
+                                   static_cast<int>(events.size()), 1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CONVGPU_LOG(kError, kTag)
+          << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(ready); ++i) {
+      const std::uint64_t key = events[i].data.u64;
+      const std::uint32_t mask = events[i].events;
+      if (key == kWakeKey) {
+        char sink[64];
+        while (::read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if ((key & 1u) != 0) {
+        AcceptPending(key >> 1);
+        continue;
+      }
+      const ConnectionId id = key >> 1;
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        // Read anything pending first so final messages are not lost.
+        HandleReadable(id);
+        DropConnection(id);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) HandleReadable(id);
+      if ((mask & EPOLLOUT) != 0) HandleWritable(id);
+    }
+    // Flush replies queued by handlers during dispatch (and by Send() from
+    // other threads), and drop kicked connections.
+    FlushDirty();
+  }
+}
+
+#else  // !__linux__ — portable poll(2) fallback, fd set rebuilt per loop.
+
+void MessageServer::PollerAdd(int, std::uint64_t) {}
+void MessageServer::PollerRemove(int) {}
+void MessageServer::PollerWantWrite(Connection&, ConnectionId, bool) {}
+
+void MessageServer::Run() {
+  {
+    MutexLock lock(mutex_);
+    reactor_tid_ = std::this_thread::get_id();
+  }
   std::vector<pollfd> fds;
-  std::vector<ConnectionId> ids;  // parallel to fds entries >= 2
+  std::vector<std::uint64_t> keys;  // parallel to fds
 
   for (;;) {
     {
       MutexLock lock(mutex_);
       if (!running_) break;
       fds.clear();
-      ids.clear();
-      fds.push_back({listener_->fd(), POLLIN, 0});
+      keys.clear();
       fds.push_back({wake_read_.get(), POLLIN, 0});
+      keys.push_back(kWakeKey);
+      for (auto& [id, listener] : listeners_) {
+        fds.push_back({listener.socket->fd(), POLLIN, 0});
+        keys.push_back(ListenerKey(id));
+      }
       for (auto& [id, conn] : connections_) {
         short events = POLLIN;
         if (!conn.write_queue.empty() || conn.closing) events |= POLLOUT;
         fds.push_back({conn.fd.get(), events, 0});
-        ids.push_back(id);
+        keys.push_back(ConnectionKey(id));
       }
     }
 
@@ -244,43 +510,34 @@ void MessageServer::Run() {
       break;
     }
 
-    // Drain wakeup pipe.
-    if ((fds[1].revents & POLLIN) != 0) {
-      char sink[64];
-      while (::read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const std::uint64_t key = keys[i];
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      if (key == kWakeKey) {
+        char sink[64];
+        while (::read(wake_read_.get(), sink, sizeof(sink)) > 0) {
+        }
+        continue;
       }
-    }
-
-    // Accept new connections.
-    if ((fds[0].revents & POLLIN) != 0) {
-      for (;;) {
-        const int client = ::accept(listener_->fd(), nullptr, nullptr);
-        if (client < 0) break;
-        SetNonBlocking(client);
-        MutexLock lock(mutex_);
-        const ConnectionId id = next_id_++;
-        connections_[id].fd.Reset(client);
+      if ((key & 1u) != 0) {
+        if ((revents & POLLIN) != 0) AcceptPending(key >> 1);
+        continue;
       }
-    }
-
-    // Service connections (snapshot matched at poll time).
-    for (std::size_t i = 2; i < fds.size(); ++i) {
-      const ConnectionId id = ids[i - 2];
-      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
-        // Read anything pending first so final messages are not lost.
+      const ConnectionId id = key >> 1;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
         HandleReadable(id);
         DropConnection(id);
         continue;
       }
-      if ((fds[i].revents & POLLIN) != 0) HandleReadable(id);
-      if ((fds[i].revents & POLLOUT) != 0) HandleWritable(id);
+      if ((revents & POLLIN) != 0) HandleReadable(id);
+      if ((revents & POLLOUT) != 0) HandleWritable(id);
     }
-
-    // Flush any writes queued while we were dispatching, and close drained
-    // connections marked for closing.
-    for (std::size_t i = 2; i < fds.size(); ++i) HandleWritable(ids[i - 2]);
+    FlushDirty();
   }
 }
+
+#endif  // __linux__
 
 Result<std::unique_ptr<MessageClient>> MessageClient::ConnectUnix(
     const std::string& path) {

@@ -1,11 +1,21 @@
-// Poll-based message server for UNIX domain sockets.
+// Shared reactor for UNIX-domain message sockets.
 //
-// This is the reactor under the GPU memory scheduler daemon. The critical
-// requirement (paper §III-D): a memory-allocation request may be *suspended*
-// — no reply is sent until another container releases memory — so the server
-// decouples request receipt from reply: handlers get a ConnectionId and any
-// thread may Send() a reply later. A self-pipe wakes the poll loop when
-// replies are queued from outside the reactor thread.
+// One MessageServer owns ONE reactor thread serving ANY number of listening
+// sockets (paper §III-D deploys a socket per container; Guardian-style
+// middleware multiplexes all of them in a single manager loop). Listeners
+// are added and removed at runtime: AddListener(path) → ListenerId, and
+// every handler receives the listener its connection arrived on, so N
+// containers cost one thread and one wake-up pipe instead of N+1.
+//
+// The critical requirement (paper §III-D): a memory-allocation request may
+// be *suspended* — no reply is sent until another container releases memory
+// — so the server decouples request receipt from reply: handlers get a
+// ConnectionId and any thread may Send() a reply later. A self-pipe wakes
+// the event loop when replies are queued from outside the reactor thread.
+//
+// On Linux the reactor runs a persistent epoll set (connections register
+// once; EPOLLOUT is armed only while a write queue is non-empty). Elsewhere
+// it falls back to rebuilding a poll(2) fd vector per iteration.
 #pragma once
 
 #include <cstdint>
@@ -27,26 +37,60 @@
 namespace convgpu::ipc {
 
 using ConnectionId = std::uint64_t;
+using ListenerId = std::uint64_t;
 
-/// Multiplexed JSON-message server over a UNIX listener. Start() spawns the
-/// reactor thread; Stop() joins it. Handlers run on the reactor thread.
+/// Multiplexed JSON-message server over any number of UNIX listeners.
+/// Start() spawns the reactor thread; Stop() joins it. Handlers run on the
+/// reactor thread.
 class MessageServer {
  public:
-  using MessageHandler = std::function<void(ConnectionId, json::Json)>;
-  using DisconnectHandler = std::function<void(ConnectionId)>;
+  /// Per-listener handlers: invoked for traffic on connections accepted on
+  /// that listener, with the listener's id first.
+  using MessageHandler =
+      std::function<void(ListenerId, ConnectionId, json::Json)>;
+  using DisconnectHandler = std::function<void(ListenerId, ConnectionId)>;
+
+  /// Single-listener convenience signatures (see the two-argument Start()).
+  using SimpleMessageHandler = std::function<void(ConnectionId, json::Json)>;
+  using SimpleDisconnectHandler = std::function<void(ConnectionId)>;
+
+  struct Options {
+    /// Backpressure cap: a connection whose un-flushed write queue exceeds
+    /// this many bytes is disconnected (a consumer that stopped reading
+    /// must not grow the daemon's memory unboundedly).
+    std::size_t max_queued_bytes_per_connection = 4u << 20;
+  };
 
   MessageServer() = default;
+  explicit MessageServer(Options options) : options_(options) {}
   MessageServer(const MessageServer&) = delete;
   MessageServer& operator=(const MessageServer&) = delete;
   ~MessageServer();
 
-  /// Binds `path` and starts the reactor.
-  Status Start(const std::string& path, MessageHandler on_message,
-               DisconnectHandler on_disconnect = nullptr);
+  /// Starts the reactor with no listeners yet (add them with AddListener).
+  Status Start();
+
+  /// Convenience: Start() + AddListener(path) with listener-agnostic
+  /// handlers — the shape of the original one-socket server.
+  Status Start(const std::string& path, SimpleMessageHandler on_message,
+               SimpleDisconnectHandler on_disconnect = nullptr);
+
+  /// Binds `path` and serves it on the shared reactor. Safe from any
+  /// thread; fails with kFailedPrecondition once Stop() has begun (the
+  /// listener fd is released, never leaked).
+  Result<ListenerId> AddListener(const std::string& path,
+                                 MessageHandler on_message,
+                                 DisconnectHandler on_disconnect = nullptr);
+
+  /// Closes the listening socket (unlinking its path) and disconnects its
+  /// connections once their queued writes drain. kNotFound if unknown.
+  Status RemoveListener(ListenerId listener);
 
   /// Queues a message on `conn`'s write queue. Safe from any thread,
   /// including reentrantly from the message handler. Returns kNotFound if
-  /// the connection is gone (the caller treats that as a vanished client).
+  /// the connection is gone (the caller treats that as a vanished client)
+  /// and kResourceExhausted if the connection just blew its write-queue cap
+  /// (it is disconnected; the message is not queued).
   Status Send(ConnectionId conn, const json::Json& message);
 
   /// Closes one connection (flushing already-queued writes first).
@@ -55,34 +99,81 @@ class MessageServer {
   /// Stops the reactor and closes everything. Idempotent.
   void Stop();
 
-  [[nodiscard]] const std::string& socket_path() const { return path_; }
+  /// Path of the first listener ever added (the two-argument Start()
+  /// convenience); empty when none.
+  [[nodiscard]] std::string socket_path() const;
+  [[nodiscard]] std::string listener_path(ListenerId listener) const;
   [[nodiscard]] std::size_t connection_count() const;
+  [[nodiscard]] std::size_t listener_count() const;
 
  private:
+  /// Handler pair shared by a listener and every connection accepted on it
+  /// (connections keep the callbacks alive across RemoveListener).
+  struct Callbacks {
+    MessageHandler on_message;
+    DisconnectHandler on_disconnect;
+  };
+
+  struct Listener {
+    std::optional<UnixListener> socket;
+    std::shared_ptr<const Callbacks> callbacks;
+  };
+
   struct Connection {
     Fd fd;
+    ListenerId listener = 0;
+    std::shared_ptr<const Callbacks> callbacks;
     std::string read_buffer;
     std::deque<std::string> write_queue;  // framed bytes, header included
     std::size_t write_offset = 0;         // progress into front frame
+    std::size_t queued_bytes = 0;         // total un-flushed framed bytes
     bool closing = false;                 // close once write queue drains
+    bool kicked = false;                  // drop immediately, skip flushing
+    bool want_write = false;              // epoll: EPOLLOUT currently armed
   };
 
+  // Event-source keys (epoll user data / dispatch tags): 0 is the wake
+  // pipe; listeners and connections draw ids from one counter and encode
+  // the kind in the low bit.
+  static constexpr std::uint64_t kWakeKey = 0;
+  static std::uint64_t ConnectionKey(ConnectionId id) { return id << 1; }
+  static std::uint64_t ListenerKey(ListenerId id) { return (id << 1) | 1; }
+
+  Status StartLocked() REQUIRES(mutex_);
   void Run();
-  void Wake();
+  /// Interrupts the reactor's wait. Must hold the mutex: the wake pipe is
+  /// closed under it by Stop(), so an unlocked write could hit a closed
+  /// (or recycled) fd.
+  void WakeLocked() REQUIRES(mutex_);
+  void AcceptPending(ListenerId id);
   void HandleReadable(ConnectionId id);
   void HandleWritable(ConnectionId id);
   void DropConnection(ConnectionId id);
+  /// Services connections named by Send()/CloseConnection() since the last
+  /// iteration: flushes queues, drops kicked connections.
+  void FlushDirty();
 
-  std::optional<UnixListener> listener_;
-  std::string path_;
+  // Registration with the platform poller. No-ops in the poll() fallback
+  // (which rebuilds its fd set every iteration).
+  void PollerAdd(int fd, std::uint64_t key) REQUIRES(mutex_);
+  void PollerRemove(int fd) REQUIRES(mutex_);
+  /// Arms/disarms write-readiness for a connection.
+  void PollerWantWrite(Connection& conn, ConnectionId id, bool enable)
+      REQUIRES(mutex_);
+
+  Options options_;
   Fd wake_read_, wake_write_;
+  Fd epoll_;  // valid only on Linux
   std::thread reactor_;
-  MessageHandler on_message_;
-  DisconnectHandler on_disconnect_;
 
   mutable Mutex mutex_;
+  std::map<ListenerId, Listener> listeners_ GUARDED_BY(mutex_);
   std::map<ConnectionId, Connection> connections_ GUARDED_BY(mutex_);
-  ConnectionId next_id_ GUARDED_BY(mutex_) = 1;
+  std::vector<ConnectionId> dirty_ GUARDED_BY(mutex_);  // need FlushDirty()
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;  // connections & listeners
+  std::string first_path_ GUARDED_BY(mutex_);
+  std::thread::id reactor_tid_ GUARDED_BY(mutex_);  // Send() skips Wake() when
+                                                    // already on the reactor
   bool running_ GUARDED_BY(mutex_) = false;
 };
 

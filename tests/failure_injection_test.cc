@@ -42,7 +42,7 @@ TEST_F(FailureInjectionTest, GarbageFramesDoNotKillTheDaemon) {
   // The daemon must still answer a well-formed request on a new connection.
   auto client = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
   ASSERT_TRUE(client.ok());
-  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  auto reply = (*client)->Call(protocol::Serialize(protocol::Message(protocol::Ping{})));
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->GetString("type"), "pong");
 }
@@ -56,7 +56,7 @@ TEST_F(FailureInjectionTest, RawByteNoiseDropsOnlyThatConnection) {
 
   auto client = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
   ASSERT_TRUE(client.ok());
-  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  auto reply = (*client)->Call(protocol::Serialize(protocol::Message(protocol::Ping{})));
   ASSERT_TRUE(reply.ok());
 }
 
@@ -74,7 +74,7 @@ TEST_F(FailureInjectionTest, SchedulerStopWhileClientConnected) {
   ASSERT_TRUE(main.ok());
   server_->Stop();
   // A call against the stopped daemon errors out rather than hanging.
-  auto reply = (*main)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  auto reply = (*main)->Call(protocol::Serialize(protocol::Message(protocol::Ping{})));
   EXPECT_FALSE(reply.ok());
 }
 
@@ -83,9 +83,9 @@ TEST_F(FailureInjectionTest, CloseForUnknownContainerIsHarmless) {
   ASSERT_TRUE(client.ok());
   protocol::ContainerClose close;
   close.container_id = "never-existed";
-  ASSERT_TRUE((*client)->Send(protocol::Encode(protocol::Message(close))).ok());
+  ASSERT_TRUE((*client)->Send(protocol::Serialize(protocol::Message(close))).ok());
   // Daemon still alive and consistent.
-  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  auto reply = (*client)->Call(protocol::Serialize(protocol::Message(protocol::Ping{})));
   ASSERT_TRUE(reply.ok());
   EXPECT_TRUE(server_->core().CheckInvariants().ok());
 }
@@ -152,9 +152,9 @@ TEST_F(FailureInjectionTest, HalfOpenClientSuspendedForeverIsCancelable) {
   protocol::RegisterContainer reg;
   reg.container_id = "victim";
   reg.memory_limit = 2_GiB;
-  auto raw = (*main)->Call(protocol::Encode(protocol::Message(reg)));
+  auto raw = (*main)->Call(protocol::Serialize(protocol::Message(reg)));
   ASSERT_TRUE(raw.ok());
-  auto decoded = protocol::Decode(*raw);
+  auto decoded = protocol::Parse(*raw);
   const auto& reply = std::get<protocol::RegisterReply>(*decoded);
   ASSERT_TRUE(reply.ok);
 
@@ -179,7 +179,7 @@ TEST_F(FailureInjectionTest, HalfOpenClientSuspendedForeverIsCancelable) {
   }
   protocol::ContainerClose close;
   close.container_id = "victim";
-  ASSERT_TRUE((*main)->Send(protocol::Encode(protocol::Message(close))).ok());
+  ASSERT_TRUE((*main)->Send(protocol::Serialize(protocol::Message(close))).ok());
   waiter.join();
   EXPECT_EQ(server_->core().pending_request_count(), 0u);
 }

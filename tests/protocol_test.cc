@@ -9,11 +9,11 @@ using namespace convgpu::literals;
 
 template <typename T>
 T RoundTrip(const T& message) {
-  const json::Json encoded = Encode(Message(message));
+  const json::Json encoded = Serialize(Message(message));
   // Through actual bytes, like the socket path does.
   auto reparsed = json::Json::Parse(encoded.Dump());
   EXPECT_TRUE(reparsed.ok());
-  auto decoded = Decode(*reparsed);
+  auto decoded = Parse(*reparsed);
   EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
   const T* typed = std::get_if<T>(&*decoded);
   EXPECT_NE(typed, nullptr) << "wrong alternative after round trip";
@@ -145,16 +145,16 @@ TEST(ProtocolTest, StatsReplyRoundTrip) {
   EXPECT_EQ(out.containers[0].suspend_episodes, 3u);
 }
 
-TEST(ProtocolTest, DecodeRejectsGarbage) {
-  EXPECT_FALSE(Decode(json::Json(42)).ok());
-  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"no_type":1})")).ok());
-  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"type":"martian"})")).ok());
+TEST(ProtocolTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Parse(json::Json(42)).ok());
+  EXPECT_FALSE(Parse(*json::Json::Parse(R"({"no_type":1})")).ok());
+  EXPECT_FALSE(Parse(*json::Json::Parse(R"({"type":"martian"})")).ok());
   // Required fields missing.
-  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"type":"alloc_request"})")).ok());
+  EXPECT_FALSE(Parse(*json::Json::Parse(R"({"type":"alloc_request"})")).ok());
   EXPECT_FALSE(
-      Decode(*json::Json::Parse(R"({"type":"alloc_request","pid":1,"size":2})"))
+      Parse(*json::Json::Parse(R"({"type":"alloc_request","pid":1,"size":2})"))
           .ok());
-  EXPECT_FALSE(Decode(*json::Json::Parse(R"({"type":"container_close"})")).ok());
+  EXPECT_FALSE(Parse(*json::Json::Parse(R"({"type":"container_close"})")).ok());
 }
 
 TEST(ProtocolTest, TypeNamesMatchWire) {
@@ -162,7 +162,78 @@ TEST(ProtocolTest, TypeNamesMatchWire) {
   EXPECT_EQ(TypeName(Message(AllocRequest{})), "alloc_request");
   EXPECT_EQ(TypeName(Message(StatsReply{})), "stats_reply");
   AllocRequest m;
-  EXPECT_EQ(Encode(Message(m)).GetString("type"), "alloc_request");
+  EXPECT_EQ(Serialize(Message(m)).GetString("type"), "alloc_request");
+}
+
+TEST(ProtocolTest, DispatchRoutesToMatchingArm) {
+  AllocRequest request;
+  request.container_id = "c";
+  request.pid = 11;
+  request.size = 64_MiB;
+
+  std::string hit;
+  Bytes seen_size = 0;
+  auto status = Dispatch(Serialize(Message(request)),
+                         Visitor{
+                             [&](const AllocRequest& m) {
+                               hit = "alloc";
+                               seen_size = m.size;
+                             },
+                             [&](const Ping&) { hit = "ping"; },
+                             [&](const auto&) { hit = "other"; },
+                         });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(hit, "alloc");
+  EXPECT_EQ(seen_size, 64_MiB);
+}
+
+TEST(ProtocolTest, DispatchFallsThroughToGenericArm) {
+  std::string hit;
+  auto status = Dispatch(Serialize(Message(Pong{})),
+                         Visitor{
+                             [&](const AllocRequest&) { hit = "alloc"; },
+                             [&](const auto& other) {
+                               hit = std::string(TypeName(Message(other)));
+                             },
+                         });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(hit, "pong");
+}
+
+TEST(ProtocolTest, DispatchRejectsMalformedFrameWithoutVisiting) {
+  bool visited = false;
+  auto status = Dispatch(*json::Json::Parse(R"({"type":"alloc_request"})"),
+                         Visitor{[&](const auto&) { visited = true; }});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(visited);
+
+  status = Dispatch(json::Json(42),
+                    Visitor{[&](const auto&) { visited = true; }});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(visited);
+}
+
+TEST(ProtocolTest, ExpectNarrowsMatchingAlternative) {
+  MemInfoReply reply;
+  reply.free = 100_MiB;
+  reply.total = 512_MiB;
+  auto narrowed = Expect<MemInfoReply>(Result<Message>(Message(reply)));
+  ASSERT_TRUE(narrowed.ok());
+  EXPECT_EQ(narrowed->total, 512_MiB);
+}
+
+TEST(ProtocolTest, ExpectRejectsWrongAlternativeNamingActualType) {
+  auto narrowed = Expect<MemInfoReply>(Result<Message>(Message(Pong{})));
+  ASSERT_FALSE(narrowed.ok());
+  EXPECT_EQ(narrowed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(narrowed.status().message().find("pong"), std::string::npos);
+}
+
+TEST(ProtocolTest, ExpectPropagatesUpstreamError) {
+  auto narrowed =
+      Expect<MemInfoReply>(Result<Message>(UnavailableError("socket gone")));
+  ASSERT_FALSE(narrowed.ok());
+  EXPECT_EQ(narrowed.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

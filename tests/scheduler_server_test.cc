@@ -35,9 +35,9 @@ class SchedulerServerTest : public ::testing::Test {
     protocol::RegisterContainer request;
     request.container_id = id;
     request.memory_limit = limit;
-    auto raw = (*client)->Call(protocol::Encode(protocol::Message(request)));
+    auto raw = (*client)->Call(protocol::Serialize(protocol::Message(request)));
     EXPECT_TRUE(raw.ok());
-    auto decoded = protocol::Decode(*raw);
+    auto decoded = protocol::Parse(*raw);
     EXPECT_TRUE(decoded.ok());
     return std::get<protocol::RegisterReply>(*decoded);
   }
@@ -49,7 +49,7 @@ class SchedulerServerTest : public ::testing::Test {
 TEST_F(SchedulerServerTest, PingPongOnMainSocket) {
   auto client = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
   ASSERT_TRUE(client.ok());
-  auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+  auto reply = (*client)->Call(protocol::Serialize(protocol::Message(protocol::Ping{})));
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->GetString("type"), "pong");
 }
@@ -172,7 +172,7 @@ TEST_F(SchedulerServerTest, SuspendedRequestBlocksUntilClose) {
   ASSERT_TRUE(main.ok());
   protocol::ContainerClose close;
   close.container_id = "hog";
-  ASSERT_TRUE((*main)->Send(protocol::Encode(protocol::Message(close))).ok());
+  ASSERT_TRUE((*main)->Send(protocol::Serialize(protocol::Message(close))).ok());
 
   auto resumed = pending.get();  // must now complete
   ASSERT_TRUE(resumed.ok());
@@ -209,9 +209,9 @@ TEST_F(SchedulerServerTest, StatsQueryOverSocket) {
   ASSERT_TRUE(Register("c1", 512_MiB).ok);
   auto main = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
   ASSERT_TRUE(main.ok());
-  auto raw = (*main)->Call(protocol::Encode(protocol::Message(protocol::StatsRequest{})));
+  auto raw = (*main)->Call(protocol::Serialize(protocol::Message(protocol::StatsRequest{})));
   ASSERT_TRUE(raw.ok());
-  auto decoded = protocol::Decode(*raw);
+  auto decoded = protocol::Parse(*raw);
   ASSERT_TRUE(decoded.ok());
   const auto& stats = std::get<protocol::StatsReply>(*decoded);
   EXPECT_EQ(stats.capacity, 5_GiB);

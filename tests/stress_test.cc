@@ -116,12 +116,12 @@ TEST(SchedulerServerHammerTest, SocketChurnWithMidAllocationDisconnects) {
       protocol::RegisterContainer reg;
       reg.container_id = id;
       reg.memory_limit = 256_MiB;
-      auto raw = (*main_client)->Call(protocol::Encode(protocol::Message(reg)));
+      auto raw = (*main_client)->Call(protocol::Serialize(protocol::Message(reg)));
       if (!raw.ok()) {
         ++errors;
         continue;
       }
-      auto decoded = protocol::Decode(*raw);
+      auto decoded = protocol::Parse(*raw);
       if (!decoded.ok() ||
           !std::get<protocol::RegisterReply>(*decoded).ok) {
         ++errors;
@@ -140,7 +140,7 @@ TEST(SchedulerServerHammerTest, SocketChurnWithMidAllocationDisconnects) {
           request.pid = pid;
           request.size = size;
           request.api = "cudaMalloc";
-          (void)(*victim)->Send(protocol::Encode(protocol::Message(request)));
+          (void)(*victim)->Send(protocol::Serialize(protocol::Message(request)));
         }
         // `victim` drops here; the disconnect handler must cancel the
         // request and reclaim the pid.
@@ -183,7 +183,7 @@ TEST(SchedulerServerHammerTest, SocketChurnWithMidAllocationDisconnects) {
 
       protocol::ContainerClose close;
       close.container_id = id;
-      if (!(*main_client)->Send(protocol::Encode(protocol::Message(close))).ok()) {
+      if (!(*main_client)->Send(protocol::Serialize(protocol::Message(close))).ok()) {
         ++errors;
       }
     }

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   }
 
   if (command == "ping") {
-    auto reply = (*client)->Call(protocol::Encode(protocol::Message(protocol::Ping{})));
+    auto reply = protocol::Expect<protocol::Pong>(
+        protocol::Call(**client, protocol::Message(protocol::Ping{})));
     if (!reply.ok()) {
       std::fprintf(stderr, "ping failed: %s\n", reply.status().ToString().c_str());
       return 1;
@@ -43,15 +44,14 @@ int main(int argc, char** argv) {
   }
 
   if (command == "stats") {
-    auto raw = (*client)->Call(
-        protocol::Encode(protocol::Message(protocol::StatsRequest{})));
-    if (!raw.ok()) {
-      std::fprintf(stderr, "stats failed: %s\n", raw.status().ToString().c_str());
+    auto reply = protocol::Expect<protocol::StatsReply>(
+        protocol::Call(**client, protocol::Message(protocol::StatsRequest{})));
+    if (!reply.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   reply.status().ToString().c_str());
       return 1;
     }
-    auto decoded = protocol::Decode(*raw);
-    if (!decoded.ok()) return 1;
-    const auto& stats = std::get<protocol::StatsReply>(*decoded);
+    const auto& stats = *reply;
     std::printf("policy: %s   capacity: %s   free pool: %s\n",
                 stats.policy.c_str(), FormatByteSize(stats.capacity).c_str(),
                 FormatByteSize(stats.free_pool).c_str());
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   if (command == "close" && argi < argc) {
     protocol::ContainerClose close;
     close.container_id = argv[argi];
-    auto status = (*client)->Send(protocol::Encode(protocol::Message(close)));
+    auto status = protocol::Notify(**client, protocol::Message(close));
     if (!status.ok()) {
       std::fprintf(stderr, "close failed: %s\n", status.ToString().c_str());
       return 1;

@@ -108,11 +108,12 @@ int main(int argc, char** argv) {
   protocol::RegisterContainer request;
   request.container_id = name;
   request.memory_limit = limit;
-  auto raw = (*client)->Call(protocol::Encode(protocol::Message(request)));
-  if (!raw.ok()) return Fail("register failed: " + raw.status().ToString());
-  auto decoded = protocol::Decode(*raw);
-  if (!decoded.ok()) return Fail("bad register reply");
-  const auto& reply = std::get<protocol::RegisterReply>(*decoded);
+  auto registered = protocol::Expect<protocol::RegisterReply>(
+      protocol::Call(**client, protocol::Message(request)));
+  if (!registered.ok()) {
+    return Fail("register failed: " + registered.status().ToString());
+  }
+  const auto& reply = *registered;
   if (!reply.ok) return Fail("scheduler refused: " + reply.error);
 
   const std::string wrapper =
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
   //    dummy volume unmounts).
   protocol::ContainerClose close;
   close.container_id = name;
-  (void)(*client)->Send(protocol::Encode(protocol::Message(close)));
+  (void)protocol::Notify(**client, protocol::Message(close));
 
   return exit_code;
 }
