@@ -66,7 +66,7 @@ class PaperTestbed {
     request.container_id = "bench";
     request.memory_limit = limit;
     auto reply = protocol::Expect<protocol::RegisterReply>(
-        protocol::Call(**client, protocol::Message(request)));
+        protocol::Call(**client, protocol::Message(request), /*req_id=*/1));
     if (!reply.ok() || !reply->ok) std::abort();
   }
 

@@ -124,7 +124,7 @@ Result<RunResult> NvDocker::RegisterWithScheduler(const std::string& key,
     request.container_id = key;
     request.memory_limit = limit;
     auto reply = protocol::Expect<protocol::RegisterReply>(
-        protocol::Call(**client, protocol::Message(request)));
+        protocol::Call(**client, protocol::Message(request), /*req_id=*/1));
     if (!reply.ok()) return reply.status();
     if (!reply->ok) {
       return FailedPreconditionError("scheduler refused container: " +

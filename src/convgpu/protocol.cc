@@ -133,6 +133,19 @@ json::Json Serialize(const Message& message) {
       message);
 }
 
+json::Json Serialize(const Message& message, std::optional<ReqId> req_id) {
+  json::Json j = Serialize(message);
+  if (req_id) j["req_id"] = static_cast<std::int64_t>(*req_id);
+  return j;
+}
+
+std::optional<ReqId> PeekReqId(const json::Json& frame) {
+  if (!frame.is_object()) return std::nullopt;
+  auto id = frame.GetInt("req_id");
+  if (!id || *id < 0) return std::nullopt;
+  return static_cast<ReqId>(*id);
+}
+
 std::string_view TypeName(const Message& message) {
   return std::visit(
       [](const auto& m) -> std::string_view {
@@ -298,9 +311,18 @@ Result<Message> Parse(const json::Json& j) {
   return InvalidArgumentError("unknown message type: " + *type);
 }
 
-Result<Message> Call(ipc::MessageClient& client, const Message& request) {
-  auto reply = client.Call(Serialize(request));
+Result<Message> Call(ipc::MessageClient& client, const Message& request,
+                     std::optional<ReqId> req_id) {
+  auto reply = client.Call(Serialize(request, req_id));
   if (!reply.ok()) return reply.status();
+  // An id-less reply is a legitimate old peer; a *wrong* id means the
+  // stream answered some other request.
+  if (const auto echoed = PeekReqId(*reply);
+      echoed && req_id && *echoed != *req_id) {
+    return FailedPreconditionError(
+        "reply correlation mismatch: sent req_id " + std::to_string(*req_id) +
+        ", got " + std::to_string(*echoed));
+  }
   return Parse(*reply);
 }
 

@@ -116,11 +116,27 @@ using Message =
                  MemInfoReply, ProcessExit, ContainerClose, Ping, Pong,
                  StatsRequest, StatsReply>;
 
+/// Request-correlation id. Ids are assigned by the *requesting* side, are
+/// opaque to the scheduler, and scope to one connection; a peer echoes the
+/// id of the request a reply answers (deferred grants included). Frames
+/// without an id remain fully valid — the pre-correlation protocol — so
+/// old and new peers interoperate in both directions.
+using ReqId = std::uint64_t;
+
 /// Serializes any message (adds the "type" discriminator).
 json::Json Serialize(const Message& message);
 
+/// Serializes with a correlation id: the plain encoding plus a top-level
+/// "req_id" field (omitted when `req_id` is empty).
+json::Json Serialize(const Message& message, std::optional<ReqId> req_id);
+
+/// Extracts the correlation id of a raw frame without parsing the rest;
+/// empty for id-less frames (old peers) and for malformed ids.
+std::optional<ReqId> PeekReqId(const json::Json& frame);
+
 /// Parses a message by its "type" field. kInvalidArgument for unknown types
-/// or missing required fields.
+/// or missing required fields. A "req_id" field, when present, is carried
+/// alongside the payload — read it with PeekReqId; Parse itself ignores it.
 Result<Message> Parse(const json::Json& value);
 
 /// The "type" string a given alternative serializes to (for tests/logging).
@@ -153,6 +169,15 @@ Status Dispatch(const json::Json& frame, V&& visitor) {
   return Status::Ok();
 }
 
+/// Dispatch that also surfaces the frame's correlation id, filled in before
+/// the visitor runs so reply paths (including deferred ones) can echo it.
+template <typename V>
+Status Dispatch(const json::Json& frame, std::optional<ReqId>& req_id,
+                V&& visitor) {
+  req_id = PeekReqId(frame);
+  return Dispatch(frame, std::forward<V>(visitor));
+}
+
 /// Narrows a decoded reply to the expected alternative; kInvalidArgument
 /// (naming the actual type) on a mismatched reply.
 template <typename T>
@@ -173,8 +198,12 @@ namespace convgpu::protocol {
 
 /// Typed request/reply over a blocking client: Serialize, send, block for
 /// one frame, Parse. Suspended allocation replies block here, exactly like
-/// the raw client.
-Result<Message> Call(ipc::MessageClient& client, const Message& request);
+/// the raw client. When `req_id` is given it rides on the request and the
+/// reply's echoed id — if the peer echoes one at all (old daemons do not)
+/// — must match, else kFailedPrecondition; this catches a desynchronized
+/// stream instead of silently consuming someone else's reply.
+Result<Message> Call(ipc::MessageClient& client, const Message& request,
+                     std::optional<ReqId> req_id = std::nullopt);
 
 /// Typed one-way send.
 Status Notify(ipc::MessageClient& client, const Message& message);

@@ -1,8 +1,83 @@
 #include "convgpu/scheduler_link.h"
 
-#include <future>
+#include <utility>
+
+#include "common/log.h"
 
 namespace convgpu {
+
+namespace {
+
+constexpr char kTag[] = "sched-link";
+
+SchedulerLink::ReplyFuture ImmediateReply(Result<protocol::Message> reply) {
+  std::promise<Result<protocol::Message>> promise;
+  promise.set_value(std::move(reply));
+  return promise.get_future();
+}
+
+}  // namespace
+
+// --- ReplyRouter ------------------------------------------------------------
+
+ReplyRouter::Issued ReplyRouter::Issue() {
+  MutexLock lock(mutex_);
+  Issued issued;
+  issued.id = next_id_++;
+  issued.reply = pending_[issued.id].get_future();
+  return issued;
+}
+
+Status ReplyRouter::Route(std::optional<protocol::ReqId> req_id,
+                          Result<protocol::Message> reply) {
+  std::promise<Result<protocol::Message>> promise;
+  {
+    MutexLock lock(mutex_);
+    if (req_id) {
+      auto it = pending_.find(*req_id);
+      if (it == pending_.end()) {
+        // Below the counter: an id we already answered (duplicate). At or
+        // above it: an id this connection never issued. Either way nobody
+        // may receive it.
+        return FailedPreconditionError(
+            *req_id < next_id_
+                ? "duplicate reply for req_id " + std::to_string(*req_id)
+                : "reply for never-issued req_id " + std::to_string(*req_id));
+      }
+      promise = std::move(it->second);
+      pending_.erase(it);
+    } else {
+      // Id-less peer (pre-correlation daemon): replies are FIFO because
+      // that protocol allowed only one call in flight per connection.
+      if (pending_.empty()) {
+        return FailedPreconditionError("id-less reply with no call pending");
+      }
+      auto it = pending_.begin();
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
+  promise.set_value(std::move(reply));
+  return Status::Ok();
+}
+
+void ReplyRouter::FailAll(const Status& status) {
+  std::map<protocol::ReqId, std::promise<Result<protocol::Message>>> failed;
+  {
+    MutexLock lock(mutex_);
+    failed.swap(pending_);
+  }
+  for (auto& [id, promise] : failed) {
+    promise.set_value(Result<protocol::Message>(status));
+  }
+}
+
+std::size_t ReplyRouter::pending_count() const {
+  MutexLock lock(mutex_);
+  return pending_.size();
+}
+
+// --- SocketSchedulerLink ----------------------------------------------------
 
 Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
     const std::string& socket_path) {
@@ -12,31 +87,105 @@ Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
       new SocketSchedulerLink(std::move(*client)));
 }
 
-Result<protocol::Message> SocketSchedulerLink::Call(
+SocketSchedulerLink::SocketSchedulerLink(
+    std::unique_ptr<ipc::MessageClient> client)
+    : client_(std::move(client)) {
+  reader_ = std::thread([this] { ReadLoop(); });
+}
+
+SocketSchedulerLink::~SocketSchedulerLink() {
+  {
+    MutexLock lock(state_mutex_);
+    if (broken_.ok()) broken_ = UnavailableError("scheduler link closed");
+  }
+  // Wakes the reader's blocking Recv() with EOF; it then fails any still-
+  // outstanding calls and exits.
+  client_->Shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+Status SocketSchedulerLink::BrokenStatus() const {
+  MutexLock lock(state_mutex_);
+  return broken_;
+}
+
+void SocketSchedulerLink::ReadLoop() {
+  for (;;) {
+    auto raw = client_->Recv();
+    if (!raw.ok()) {
+      // EOF or read error: the peer is gone. Every caller still waiting —
+      // including one whose request was sent but never answered — gets the
+      // same typed error instead of a silent hang or a lost reply.
+      Status down = UnavailableError("scheduler connection lost: " +
+                                     raw.status().ToString());
+      {
+        MutexLock lock(state_mutex_);
+        if (broken_.ok()) {
+          broken_ = down;
+        } else {
+          down = broken_;  // deliberate close: keep the first cause
+        }
+      }
+      router_.FailAll(down);
+      return;
+    }
+    const std::optional<protocol::ReqId> req_id = protocol::PeekReqId(*raw);
+    auto message = protocol::Parse(*raw);
+    const Status routed =
+        message.ok() ? router_.Route(req_id, std::move(*message))
+                     : router_.Route(req_id, Result<protocol::Message>(
+                                                 message.status()));
+    if (!routed.ok()) {
+      CONVGPU_LOG(kWarn, kTag)
+          << "dropping unroutable reply: " << routed.ToString();
+    }
+  }
+}
+
+SchedulerLink::ReplyFuture SocketSchedulerLink::AsyncCall(
     const protocol::Message& request) {
-  MutexLock lock(call_mutex_);
-  return protocol::Call(*client_, request);
+  if (const Status broken = BrokenStatus(); !broken.ok()) {
+    return ImmediateReply(Result<protocol::Message>(broken));
+  }
+  auto issued = router_.Issue();
+  const Status sent =
+      client_->Send(protocol::Serialize(request, issued.id));
+  if (!sent.ok()) {
+    // Complete this slot only; the reader handles connection-level death.
+    // Route can lose the race against the reader's FailAll — then the
+    // future already holds kUnavailable and this is a harmless no-op.
+    (void)router_.Route(issued.id,
+                        Result<protocol::Message>(UnavailableError(
+                            "cannot reach scheduler: " + sent.ToString())));
+  }
+  return std::move(issued.reply);
 }
 
 Status SocketSchedulerLink::Notify(const protocol::Message& message) {
+  if (const Status broken = BrokenStatus(); !broken.ok()) return broken;
   return protocol::Notify(*client_, message);
 }
 
-Result<protocol::Message> DirectSchedulerLink::Call(
+// --- DirectSchedulerLink ----------------------------------------------------
+
+SchedulerLink::ReplyFuture DirectSchedulerLink::AsyncCall(
     const protocol::Message& request) {
   if (const auto* alloc = std::get_if<protocol::AllocRequest>(&request)) {
-    // Block until the scheduler decides — possibly after a suspension.
-    std::promise<Status> decided;
-    auto future = decided.get_future();
+    // The core invokes the grant callback after the decision — possibly
+    // much later, from whichever thread released memory — so the promise
+    // outlives this frame.
+    auto decided =
+        std::make_shared<std::promise<Result<protocol::Message>>>();
+    auto future = decided->get_future();
     core_->RequestAlloc(container_id_, alloc->pid, alloc->size,
-                        [&decided](const Status& status) {
-                          decided.set_value(status);
+                        [decided](const Status& status) {
+                          protocol::AllocReply reply;
+                          reply.granted = status.ok();
+                          if (!status.ok()) reply.error = status.ToString();
+                          decided->set_value(
+                              Result<protocol::Message>(protocol::Message(reply)));
                         });
-    const Status status = future.get();
-    protocol::AllocReply reply;
-    reply.granted = status.ok();
-    if (!status.ok()) reply.error = status.ToString();
-    return protocol::Message(reply);
+    return future;
   }
   if (std::holds_alternative<protocol::MemGetInfoRequest>(request)) {
     protocol::MemInfoReply reply;
@@ -45,13 +194,15 @@ Result<protocol::Message> DirectSchedulerLink::Call(
       reply.free = info->free;
       reply.total = info->total;
     }
-    return protocol::Message(reply);
+    return ImmediateReply(Result<protocol::Message>(protocol::Message(reply)));
   }
   if (std::holds_alternative<protocol::Ping>(request)) {
-    return protocol::Message(protocol::Pong{});
+    return ImmediateReply(
+        Result<protocol::Message>(protocol::Message(protocol::Pong{})));
   }
-  return InvalidArgumentError("unsupported direct call: " +
-                              std::string(protocol::TypeName(request)));
+  return ImmediateReply(Result<protocol::Message>(
+      InvalidArgumentError("unsupported direct call: " +
+                           std::string(protocol::TypeName(request)))));
 }
 
 Status DirectSchedulerLink::Notify(const protocol::Message& message) {

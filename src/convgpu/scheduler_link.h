@@ -6,14 +6,21 @@
 //  * DirectSchedulerLink — calls a SchedulerCore in-process (unit tests and
 //    the zero-IPC rung of the transport ablation).
 //
-// Call() is strictly serialized per link: the protocol has no request ids
-// (faithful to the paper), so a second in-flight request while the first is
-// *suspended* would steal its reply. Serializing gives the same observable
-// semantics as the scheduler's per-container FIFO queue.
+// The link is *pipelined*: every request carries a protocol::ReqId, a
+// background reader demultiplexes replies back to their callers, and
+// AsyncCall() lets N threads keep N requests outstanding on one socket.
+// In particular a *suspended* alloc_request — parked daemon-side until
+// another container releases memory — no longer blocks sibling threads'
+// calls, commits, or frees. (Earlier versions had no ids on the wire,
+// faithful to the paper, and serialized whole Call() exchanges under a
+// per-link mutex; an id-less peer still works, see ReplyRouter::Route.)
 #pragma once
 
+#include <future>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/mutex.h"
 #include "common/result.h"
@@ -25,15 +32,62 @@ namespace convgpu {
 
 class SchedulerLink {
  public:
-  virtual ~SchedulerLink() = default;
-
-  /// Request/reply. Blocks until the scheduler answers — for a suspended
+  /// Completion of one request/reply exchange. The future is fulfilled by
+  /// whichever thread receives (or synthesizes) the reply; for a suspended
   /// allocation that can be a long time, which is exactly the paper's
   /// suspension mechanism.
-  virtual Result<protocol::Message> Call(const protocol::Message& request) = 0;
+  using ReplyFuture = std::future<Result<protocol::Message>>;
 
-  /// One-way notification (alloc_commit, free, process_exit, ...).
+  virtual ~SchedulerLink() = default;
+
+  /// Starts a request/reply exchange without blocking on the answer.
+  /// Multiple calls may be in flight simultaneously, from any threads; each
+  /// future receives exactly the reply to its own request.
+  virtual ReplyFuture AsyncCall(const protocol::Message& request) = 0;
+
+  /// One-way notification (alloc_commit, free, process_exit, ...). Never
+  /// waits on an in-flight call.
   virtual Status Notify(const protocol::Message& message) = 0;
+
+  /// Blocking request/reply — a thin wrapper over AsyncCall.
+  Result<protocol::Message> Call(const protocol::Message& request) {
+    return AsyncCall(request).get();
+  }
+};
+
+/// Matches replies to outstanding requests by protocol::ReqId. One router
+/// per connection: ids are issued from a connection-scoped counter starting
+/// at 1, so a reconnect gets a fresh id space. Thread-safe.
+class ReplyRouter {
+ public:
+  struct Issued {
+    protocol::ReqId id = 0;
+    SchedulerLink::ReplyFuture reply;
+  };
+
+  /// Issues the next request id together with the future its reply will
+  /// complete.
+  Issued Issue();
+
+  /// Completes the pending call `req_id` names. An absent id routes to the
+  /// oldest outstanding call — the pre-correlation protocol, where replies
+  /// are strictly FIFO because clients kept at most one call in flight.
+  /// kFailedPrecondition for a duplicate, unknown, or id-less-with-nothing-
+  /// pending reply: it is dropped, never delivered to the wrong caller.
+  Status Route(std::optional<protocol::ReqId> req_id,
+               Result<protocol::Message> reply);
+
+  /// Fails every outstanding call with `status` (peer vanished). Later
+  /// Route()s find nothing pending.
+  void FailAll(const Status& status);
+
+  [[nodiscard]] std::size_t pending_count() const;
+
+ private:
+  mutable Mutex mutex_;
+  protocol::ReqId next_id_ GUARDED_BY(mutex_) = 1;
+  std::map<protocol::ReqId, std::promise<Result<protocol::Message>>> pending_
+      GUARDED_BY(mutex_);
 };
 
 class SocketSchedulerLink final : public SchedulerLink {
@@ -41,18 +95,33 @@ class SocketSchedulerLink final : public SchedulerLink {
   static Result<std::unique_ptr<SocketSchedulerLink>> Connect(
       const std::string& socket_path);
 
-  Result<protocol::Message> Call(const protocol::Message& request) override;
+  ~SocketSchedulerLink() override;
+
+  ReplyFuture AsyncCall(const protocol::Message& request) override;
   Status Notify(const protocol::Message& message) override;
 
- private:
-  explicit SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client)
-      : client_(std::move(client)) {}
+  /// Calls whose replies have not arrived yet (introspection for tests).
+  [[nodiscard]] std::size_t outstanding_calls() const {
+    return router_.pending_count();
+  }
 
-  /// Serializes whole Call() exchanges (send + matching reply), not the
-  /// socket itself — Notify() bypasses it and relies on MessageClient's own
-  /// write serialization, so client_ is deliberately not GUARDED_BY.
-  Mutex call_mutex_;
+ private:
+  explicit SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client);
+
+  /// The demultiplexing receive loop: runs on reader_, routes every frame
+  /// to its caller by req_id, and on any receive error fails all
+  /// outstanding calls with kUnavailable — a peer that disconnects between
+  /// send and receive surfaces as a typed error, never a lost reply.
+  void ReadLoop();
+
+  /// First peer-loss status, sticky; AsyncCall/Notify fail fast with it.
+  Status BrokenStatus() const;
+
   std::unique_ptr<ipc::MessageClient> client_;
+  ReplyRouter router_;
+  mutable Mutex state_mutex_;
+  Status broken_ GUARDED_BY(state_mutex_);
+  std::thread reader_;
 };
 
 class DirectSchedulerLink final : public SchedulerLink {
@@ -62,7 +131,7 @@ class DirectSchedulerLink final : public SchedulerLink {
   DirectSchedulerLink(SchedulerCore* core, std::string container_id)
       : core_(core), container_id_(std::move(container_id)) {}
 
-  Result<protocol::Message> Call(const protocol::Message& request) override;
+  ReplyFuture AsyncCall(const protocol::Message& request) override;
   Status Notify(const protocol::Message& message) override;
 
  private:

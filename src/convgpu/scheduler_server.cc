@@ -69,8 +69,9 @@ void SchedulerServer::Stop() {
 }
 
 void SchedulerServer::Reply(ipc::ConnectionId conn,
-                            const protocol::Message& message) {
-  (void)reactor_.Send(conn, protocol::Serialize(message));
+                            const protocol::Message& message,
+                            std::optional<protocol::ReqId> req_id) {
+  (void)reactor_.Send(conn, protocol::Serialize(message, req_id));
 }
 
 protocol::RegisterReply SchedulerServer::DoRegister(
@@ -191,17 +192,20 @@ protocol::StatsReply SchedulerServer::BuildStats() const {
 }
 
 void SchedulerServer::HandleMain(ipc::ConnectionId conn, json::Json message) {
+  std::optional<protocol::ReqId> req_id;
   auto dispatched = protocol::Dispatch(
-      message,
+      message, req_id,
       protocol::Visitor{
           [&](const protocol::RegisterContainer& request) {
-            Reply(conn, DoRegister(request));
+            Reply(conn, DoRegister(request), req_id);
           },
           [&](const protocol::ContainerClose& close) {
             DoContainerClose(close.container_id);
           },
-          [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}); },
-          [&](const protocol::StatsRequest&) { Reply(conn, BuildStats()); },
+          [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}, req_id); },
+          [&](const protocol::StatsRequest&) {
+            Reply(conn, BuildStats(), req_id);
+          },
           [&](const auto& other) {
             CONVGPU_LOG(kWarn, kTag)
                 << "unexpected message on main socket: "
@@ -231,8 +235,9 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
     channel->pids_by_conn[conn].insert(pid);
   };
 
+  std::optional<protocol::ReqId> req_id;
   auto dispatched = protocol::Dispatch(
-      message,
+      message, req_id,
       protocol::Visitor{
           [&](const protocol::AllocRequest& request) {
             note_pid(request.pid);
@@ -240,14 +245,16 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
             // thread releases memory, possibly after this container was
             // closed and its listener removed — the shared reactor outlives
             // every channel, and Send() on a vanished connection is a clean
-            // kNotFound.
+            // kNotFound. The captured req_id makes the deferred grant land
+            // on the caller that parked, however many sibling calls the
+            // pipelined link issued in between.
             core_.RequestAlloc(
                 container_id, request.pid, request.size,
-                [this, conn](const Status& status) {
+                [this, conn, req_id](const Status& status) {
                   protocol::AllocReply reply;
                   reply.granted = status.ok();
                   if (!status.ok()) reply.error = status.ToString();
-                  Reply(conn, reply);
+                  Reply(conn, reply, req_id);
                 });
           },
           [&](const protocol::AllocCommit& commit) {
@@ -268,7 +275,7 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
               reply.free = result->free;
               reply.total = result->total;
             }
-            Reply(conn, reply);
+            Reply(conn, reply, req_id);
           },
           [&](const protocol::ProcessExit& exit) {
             (void)core_.ProcessExit(container_id, exit.pid);
@@ -277,7 +284,7 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
               pids.erase(exit.pid);
             }
           },
-          [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}); },
+          [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}, req_id); },
           [&](const auto& other) {
             CONVGPU_LOG(kWarn, kTag)
                 << "unexpected message on container socket: "

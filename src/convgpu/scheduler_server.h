@@ -83,9 +83,12 @@ class SchedulerServer {
   protocol::RegisterReply DoRegister(const protocol::RegisterContainer& request);
   void DoContainerClose(const std::string& container_id);
   protocol::StatsReply BuildStats() const;
-  /// Serializes and queues `message` on `conn`; a failed send (vanished
-  /// client, backpressure kick) is the client's problem, not the daemon's.
-  void Reply(ipc::ConnectionId conn, const protocol::Message& message);
+  /// Serializes and queues `message` on `conn`, echoing the correlation id
+  /// of the request it answers (absent for id-less old clients); a failed
+  /// send (vanished client, backpressure kick) is the client's problem,
+  /// not the daemon's.
+  void Reply(ipc::ConnectionId conn, const protocol::Message& message,
+             std::optional<protocol::ReqId> req_id);
 
   SchedulerServerOptions options_;
   /// Declared before core_ so a grant callback firing during core_ teardown

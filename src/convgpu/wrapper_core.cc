@@ -41,7 +41,12 @@ CudaError WrapperCore::GuardedAlloc(Bytes adjusted, const char* api,
   request.pid = pid_;
   request.size = adjusted;
   request.api = api;
-  auto reply = link_->Call(protocol::Message(request));
+  // Pipelined admission: the request goes out immediately and only *this*
+  // thread blocks on its future. A suspended reply parks this caller alone
+  // — sibling threads' allocations, commits, and frees keep flowing on the
+  // same link, so another thread's cudaFree can be what unblocks us.
+  auto pending = link_->AsyncCall(protocol::Message(request));
+  auto reply = pending.get();
   if (!reply.ok()) {
     CONVGPU_LOG(kError, kTag) << api << ": scheduler unreachable: "
                               << reply.status().ToString();
@@ -163,6 +168,9 @@ CudaError WrapperCore::Free(cudasim::DevicePtr dev_ptr) {
   if (error == CudaError::kSuccess && dev_ptr != cudasim::kNullDevicePtr) {
     // Fire-and-forget: the user program does not wait on the scheduler for
     // frees, which is why Fig. 4 shows cudaFree barely slower than native.
+    // On the pipelined link this notification is delivered even while a
+    // sibling thread's alloc_request sits suspended — the release that may
+    // be exactly what un-suspends it.
     protocol::FreeNotify notify;
     notify.pid = pid_;
     notify.address = dev_ptr;
@@ -185,7 +193,8 @@ CudaError WrapperCore::MemGetInfo(std::size_t* free_bytes,
   }
   protocol::MemGetInfoRequest request;
   request.pid = pid_;
-  auto reply = link_->Call(protocol::Message(request));
+  // Also pipelined: a stats probe is answerable while an alloc is parked.
+  auto reply = link_->AsyncCall(protocol::Message(request)).get();
   if (!reply.ok()) return CudaError::kSchedulerUnavailable;
   const auto* info = std::get_if<protocol::MemInfoReply>(&*reply);
   if (info == nullptr) return CudaError::kSchedulerUnavailable;

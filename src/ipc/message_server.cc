@@ -558,4 +558,6 @@ Result<json::Json> MessageClient::Call(const json::Json& request) {
   return Recv();
 }
 
+void MessageClient::Shutdown() { ::shutdown(fd_.get(), SHUT_RDWR); }
+
 }  // namespace convgpu::ipc

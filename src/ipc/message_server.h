@@ -194,6 +194,12 @@ class MessageClient {
   /// Send then block for exactly one reply.
   Result<json::Json> Call(const json::Json& request);
 
+  /// Shuts down both socket directions without closing the fd: a thread
+  /// blocked in Recv() wakes with EOF and later Send()s fail cleanly.
+  /// How SocketSchedulerLink's demux reader is stopped; safe to call from
+  /// any thread, idempotent.
+  void Shutdown();
+
   [[nodiscard]] int fd() const { return fd_.get(); }
 
  private:

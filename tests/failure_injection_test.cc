@@ -3,7 +3,10 @@
 // peers get reclaimed, and nothing corrupts the ledger.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <thread>
+#include <vector>
 
 #include "convgpu/convgpu.h"
 #include "ipc/framing.h"
@@ -182,6 +185,122 @@ TEST_F(FailureInjectionTest, HalfOpenClientSuspendedForeverIsCancelable) {
   ASSERT_TRUE((*main)->Send(protocol::Serialize(protocol::Message(close))).ok());
   waiter.join();
   EXPECT_EQ(server_->core().pending_request_count(), 0u);
+}
+
+TEST_F(FailureInjectionTest, DaemonDeathFailsAllOutstandingCallsWithUnavailable) {
+  // Eight async calls parked on one pipelined link when the daemon dies:
+  // every future must complete with kUnavailable — no hang, no abandoned
+  // promise (ASan would flag a leaked pending slot), no lost reply.
+  // Limit chosen so limit + first-alloc overhead consumes the whole GPU.
+  ASSERT_TRUE(server_->core().RegisterContainer("hog", 5_GiB - 66_MiB).ok());
+  bool hog_granted = false;
+  server_->core().RequestAlloc("hog", 1, 5_GiB - 66_MiB,
+                               [&](const Status& s) { hog_granted = s.ok(); });
+  ASSERT_TRUE(hog_granted);
+  ASSERT_TRUE(
+      server_->core().CommitAlloc("hog", 1, 0xB, 5_GiB - 66_MiB).ok());
+
+  auto main = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(main.ok());
+  protocol::RegisterContainer reg;
+  reg.container_id = "victim";
+  reg.memory_limit = 4_GiB;
+  auto reply = protocol::Expect<protocol::RegisterReply>(
+      protocol::Call(**main, protocol::Message(reg), /*req_id=*/1));
+  ASSERT_TRUE(reply.ok() && reply->ok);
+
+  auto link = SocketSchedulerLink::Connect(reply->socket_path);
+  ASSERT_TRUE(link.ok());
+
+  constexpr int kOutstanding = 8;
+  std::vector<SchedulerLink::ReplyFuture> futures;
+  for (int i = 0; i < kOutstanding; ++i) {
+    protocol::AllocRequest request;
+    request.container_id = "victim";
+    request.pid = 100 + i;  // distinct pids, all within the victim's limit
+    request.size = 64_MiB;
+    request.api = "cudaMalloc";
+    futures.push_back((*link)->AsyncCall(protocol::Message(request)));
+  }
+  for (int i = 0; i < 5000 && server_->core().pending_request_count() <
+                                  static_cast<std::size_t>(kOutstanding);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server_->core().pending_request_count(),
+            static_cast<std::size_t>(kOutstanding));
+
+  server_->Stop();  // the daemon dies with all eight calls in flight
+
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    auto result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ((*link)->outstanding_calls(), 0u);
+
+  // A link onto a dead daemon fails new calls fast with the sticky status.
+  auto late = (*link)->Call(protocol::Message(protocol::Ping{}));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FailureInjectionTest, ReconnectAfterRestartStartsClean) {
+  // The daemon restarts on the same base_dir: a fresh link must work and
+  // its id space restarts at 1 (ids scope to a connection, not a process).
+  server_->Stop();
+  server_.reset();
+
+  SchedulerServerOptions options;
+  options.base_dir = dir_.path();
+  options.scheduler.capacity = 5_GiB;
+  server_ = std::make_unique<SchedulerServer>(std::move(options));
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto main = ipc::MessageClient::ConnectUnix(server_->main_socket_path());
+  ASSERT_TRUE(main.ok());
+  protocol::RegisterContainer reg;
+  reg.container_id = "phoenix";
+  reg.memory_limit = 1_GiB;
+  auto reply = protocol::Expect<protocol::RegisterReply>(
+      protocol::Call(**main, protocol::Message(reg), /*req_id=*/1));
+  ASSERT_TRUE(reply.ok() && reply->ok);
+
+  auto link = SocketSchedulerLink::Connect(reply->socket_path);
+  ASSERT_TRUE(link.ok());
+  protocol::AllocRequest request;
+  request.container_id = "phoenix";
+  request.pid = 1;
+  request.size = 64_MiB;
+  auto granted = protocol::Expect<protocol::AllocReply>(
+      (*link)->Call(protocol::Message(request)));
+  ASSERT_TRUE(granted.ok());
+  EXPECT_TRUE(granted->granted);
+}
+
+TEST_F(FailureInjectionTest, PeerDisconnectBetweenSendAndReceiveIsTyped) {
+  // Regression: a peer that accepts the request and then drops the
+  // connection without replying used to surface as a lost reply (the old
+  // link returned whatever the next Recv produced). It must be a typed
+  // kUnavailable on exactly the in-flight call.
+  TempDir dir;
+  const std::string path = dir.path() + "/rude.sock";
+  ipc::MessageServer rude;
+  ASSERT_TRUE(rude.Start(path,
+                         [&rude](ipc::ConnectionId conn, json::Json) {
+                           rude.CloseConnection(conn);  // no reply, ever
+                         })
+                  .ok());
+
+  auto link = SocketSchedulerLink::Connect(path);
+  ASSERT_TRUE(link.ok());
+  auto result = (*link)->Call(protocol::Message(protocol::Ping{}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*link)->outstanding_calls(), 0u);
+  rude.Stop();
 }
 
 }  // namespace

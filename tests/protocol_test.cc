@@ -145,6 +145,84 @@ TEST(ProtocolTest, StatsReplyRoundTrip) {
   EXPECT_EQ(out.containers[0].suspend_episodes, 3u);
 }
 
+// --- Request correlation ----------------------------------------------------
+
+TEST(ProtocolTest, ReqIdSurvivesEveryMessageType) {
+  // Every alternative in the variant, serialized with a correlation id,
+  // through actual bytes: the id must be peekable on the far side and the
+  // payload must still parse to the same alternative.
+  const std::vector<Message> one_of_each = {
+      Message(RegisterContainer{}), Message(RegisterReply{}),
+      Message(AllocRequest{}),      Message(AllocReply{}),
+      Message(AllocCommit{}),       Message(AllocAbort{}),
+      Message(FreeNotify{}),        Message(MemGetInfoRequest{}),
+      Message(MemInfoReply{}),      Message(ProcessExit{}),
+      Message(ContainerClose{}),    Message(Ping{}),
+      Message(Pong{}),              Message(StatsRequest{}),
+      Message(StatsReply{}),
+  };
+  ReqId next = 1;
+  for (const Message& message : one_of_each) {
+    const ReqId id = next++;
+    auto reparsed = json::Json::Parse(Serialize(message, id).Dump());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(PeekReqId(*reparsed), id) << TypeName(message);
+    auto decoded = Parse(*reparsed);
+    ASSERT_TRUE(decoded.ok()) << TypeName(message) << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->index(), message.index()) << TypeName(message);
+  }
+}
+
+TEST(ProtocolTest, IdlessFramesStayValid) {
+  // The pre-correlation protocol: no "req_id" field at all. Old peers emit
+  // exactly these frames and they must keep parsing.
+  const json::Json frame = Serialize(Message(Ping{}));
+  EXPECT_EQ(PeekReqId(frame), std::nullopt);
+  EXPECT_TRUE(Parse(frame).ok());
+  // Serializing with an empty id is byte-identical to the plain encoding.
+  EXPECT_EQ(Serialize(Message(Ping{}), std::nullopt).Dump(), frame.Dump());
+  AllocRequest request;
+  request.container_id = "c";
+  request.pid = 3;
+  request.size = 1_MiB;
+  EXPECT_EQ(Serialize(Message(request), std::nullopt).Dump(),
+            Serialize(Message(request)).Dump());
+}
+
+TEST(ProtocolTest, PeekReqIdRejectsMalformedIds) {
+  EXPECT_EQ(PeekReqId(json::Json(42)), std::nullopt);  // not even an object
+  EXPECT_EQ(PeekReqId(*json::Json::Parse(R"({"type":"ping"})")), std::nullopt);
+  EXPECT_EQ(PeekReqId(*json::Json::Parse(R"({"type":"ping","req_id":-3})")),
+            std::nullopt);
+  EXPECT_EQ(PeekReqId(*json::Json::Parse(R"({"type":"ping","req_id":"x"})")),
+            std::nullopt);
+  // And a malformed id does not break payload parsing.
+  EXPECT_TRUE(
+      Parse(*json::Json::Parse(R"({"type":"ping","req_id":"x"})")).ok());
+}
+
+TEST(ProtocolTest, DispatchWithReqIdFillsItBeforeVisiting) {
+  std::optional<ReqId> req_id;
+  ReqId seen_inside = 0;
+  auto status = Dispatch(Serialize(Message(Ping{}), 41),
+                         req_id,
+                         Visitor{
+                             [&](const Ping&) { seen_inside = *req_id; },
+                             [&](const auto&) {},
+                         });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(req_id, 41u);
+  EXPECT_EQ(seen_inside, 41u);  // already filled when the visitor ran
+
+  // A malformed frame still reports its id even though the visitor never
+  // runs — the server can address its error handling to the right request.
+  status = Dispatch(*json::Json::Parse(R"({"type":"alloc_request","req_id":9})"),
+                    req_id, Visitor{[&](const auto&) {}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(req_id, 9u);
+}
+
 TEST(ProtocolTest, ParseRejectsGarbage) {
   EXPECT_FALSE(Parse(json::Json(42)).ok());
   EXPECT_FALSE(Parse(*json::Json::Parse(R"({"no_type":1})")).ok());

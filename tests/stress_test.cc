@@ -209,6 +209,126 @@ TEST(SchedulerServerHammerTest, SocketChurnWithMidAllocationDisconnects) {
   server.Stop();
 }
 
+// The pipelined-link hammer: 64 containers, each with ONE SocketSchedulerLink
+// shared by 4 threads — every thread keeps its own calls outstanding on the
+// shared socket, so replies constantly interleave across threads and the
+// ReplyRouter demux is exercised at daemon scale (all 64 container sockets
+// live on the server's single reactor). Per-container limits are small
+// enough that concurrent allocations overrun them: granted=false rejections
+// are expected outcomes, misrouted or lost replies are not.
+TEST(SchedulerServerHammerTest, PipelinedLinksAcross64Containers) {
+  using convgpu::testing::TempDir;
+  TempDir dir;
+  SchedulerServerOptions options;
+  options.base_dir = dir.path();
+  options.scheduler.capacity = 5_GiB;
+  options.scheduler.first_alloc_overhead = 0;
+  SchedulerServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kContainers = 64;
+  constexpr int kThreadsPerLink = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> errors{0};
+
+  // Register everything up front over the main socket, ids correlated.
+  auto main_client = ipc::MessageClient::ConnectUnix(server.main_socket_path());
+  ASSERT_TRUE(main_client.ok());
+  protocol::ReqId next_req_id = 1;
+  std::vector<std::unique_ptr<SocketSchedulerLink>> links;
+  for (int c = 0; c < kContainers; ++c) {
+    protocol::RegisterContainer reg;
+    reg.container_id = "p" + std::to_string(c);
+    reg.memory_limit = 64_MiB;
+    auto reply = protocol::Expect<protocol::RegisterReply>(protocol::Call(
+        **main_client, protocol::Message(reg), next_req_id++));
+    ASSERT_TRUE(reply.ok() && reply->ok);
+    auto link = SocketSchedulerLink::Connect(reply->socket_path);
+    ASSERT_TRUE(link.ok());
+    links.push_back(std::move(*link));
+  }
+
+  auto worker = [&](int container, int lane) {
+    const std::string id = "p" + std::to_string(container);
+    SocketSchedulerLink& link = *links[static_cast<std::size_t>(container)];
+    const Pid pid = 1000 * (container + 1) + lane;
+    for (int round = 0; round < kRounds; ++round) {
+      // 4 lanes x 32 MiB against a 64 MiB limit: some of these must be
+      // rejected, and which ones depends on reply interleaving.
+      protocol::AllocRequest request;
+      request.container_id = id;
+      request.pid = pid;
+      request.size = 32_MiB;
+      request.api = "cudaMalloc";
+      auto response = protocol::Expect<protocol::AllocReply>(
+          link.Call(protocol::Message(request)));
+      if (!response.ok()) {
+        ++errors;
+      } else if (response->granted) {
+        const auto address =
+            0xF000u + static_cast<std::uint64_t>(pid * 10 + round);
+        protocol::AllocCommit commit;
+        commit.container_id = id;
+        commit.pid = pid;
+        commit.address = address;
+        commit.size = 32_MiB;
+        if (!link.Notify(protocol::Message(commit)).ok()) ++errors;
+        protocol::FreeNotify free_notify;
+        free_notify.container_id = id;
+        free_notify.pid = pid;
+        free_notify.address = address;
+        if (!link.Notify(protocol::Message(free_notify)).ok()) ++errors;
+      }
+      // A stats-style call interleaved on the same link; its reply must
+      // never be confused with an alloc reply.
+      protocol::MemGetInfoRequest probe;
+      probe.container_id = id;
+      probe.pid = pid;
+      auto info = protocol::Expect<protocol::MemInfoReply>(
+          link.Call(protocol::Message(probe)));
+      if (!info.ok() || info->total != 64_MiB) ++errors;
+    }
+    protocol::ProcessExit exit_notify;
+    exit_notify.container_id = id;
+    exit_notify.pid = pid;
+    if (!link.Notify(protocol::Message(exit_notify)).ok()) ++errors;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kContainers * kThreadsPerLink);
+  for (int c = 0; c < kContainers; ++c) {
+    for (int lane = 0; lane < kThreadsPerLink; ++lane) {
+      threads.emplace_back(worker, c, lane);
+    }
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (auto& link : links) {
+    if (link->outstanding_calls() != 0) ++errors;
+  }
+  links.clear();  // joins every reader thread
+
+  for (int c = 0; c < kContainers; ++c) {
+    protocol::ContainerClose close;
+    close.container_id = "p" + std::to_string(c);
+    if (!protocol::Notify(**main_client, protocol::Message(close)).ok()) {
+      ++errors;
+    }
+  }
+  for (int i = 0; i < 1000; ++i) {
+    if (server.core().pending_request_count() == 0 &&
+        server.core().free_pool() == 5_GiB) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(server.core().pending_request_count(), 0u);
+  EXPECT_EQ(server.core().free_pool(), 5_GiB);
+  EXPECT_TRUE(server.core().CheckInvariants().ok());
+  server.Stop();
+}
+
 // Pins the reproduction's headline shapes so regressions in the scheduler
 // would show up as test failures, not just drifting bench numbers.
 TEST(ReproductionShapeTest, BestFitWinsFinishTimeAtHighLoad) {

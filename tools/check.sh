@@ -8,6 +8,10 @@
 #   4. tsan      — -fsanitize=thread build + full ctest suite
 #   5. asan      — -fsanitize=address,undefined build + full ctest suite
 #   6. format    — clang-format --dry-run on tracked sources (skipped if absent)
+#   7. pipelining — the link-concurrency suites only (ReplyRouter demux,
+#                  reordered replies, daemon-death fault paths, the 64x4
+#                  hammer) under BOTH TSan and ASan; the fast loop for work
+#                  on scheduler_link/protocol/ipc. Subset of legs 4+5.
 #
 # Clang legs are advisory on machines without clang; set CONVGPU_REQUIRE_CLANG=1
 # to turn those skips into failures (CI with clang installed should do this).
@@ -111,6 +115,33 @@ asan_impl() {
       ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}"
 }
 
+PIPELINING_FILTER='ReplyRouter|SchedulerLinkPipelining|PipelinedLink|ProtocolTest|FailureInjection|Hammer'
+
+leg_pipelining() {
+  note "leg: pipelining concurrency suites under TSan + ASan"
+  run_leg pipelining-tsan pipelining_tsan_impl
+  run_leg pipelining-asan pipelining_asan_impl
+}
+
+pipelining_tsan_impl() {
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONVGPU_SANITIZE=thread &&
+    cmake --build "${ROOT}/build-tsan" -j "${JOBS}" &&
+    TSAN_OPTIONS="suppressions=${ROOT}/tools/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+            -R "${PIPELINING_FILTER}"
+}
+
+pipelining_asan_impl() {
+  cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCONVGPU_SANITIZE=address,undefined &&
+    cmake --build "${ROOT}/build-asan" -j "${JOBS}" &&
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+      ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}" \
+            -R "${PIPELINING_FILTER}"
+}
+
 leg_format() {
   note "leg: clang-format (dry run, tracked sources)"
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -137,6 +168,7 @@ for leg in "${LEGS[@]}"; do
     tsa) leg_tsa ;;
     tsan) leg_tsan ;;
     asan) leg_asan ;;
+    pipelining) leg_pipelining ;;
     format) leg_format ;;
     *) echo "unknown leg: ${leg}"; FAIL+=("${leg}") ;;
   esac

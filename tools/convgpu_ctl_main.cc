@@ -32,9 +32,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Each exchange carries its own correlation id; the scheduler echoes it
+  // and Call() rejects a mismatched reply instead of misreading the stream.
+  protocol::ReqId next_req_id = 1;
+
   if (command == "ping") {
-    auto reply = protocol::Expect<protocol::Pong>(
-        protocol::Call(**client, protocol::Message(protocol::Ping{})));
+    auto reply = protocol::Expect<protocol::Pong>(protocol::Call(
+        **client, protocol::Message(protocol::Ping{}), next_req_id++));
     if (!reply.ok()) {
       std::fprintf(stderr, "ping failed: %s\n", reply.status().ToString().c_str());
       return 1;
@@ -44,8 +48,8 @@ int main(int argc, char** argv) {
   }
 
   if (command == "stats") {
-    auto reply = protocol::Expect<protocol::StatsReply>(
-        protocol::Call(**client, protocol::Message(protocol::StatsRequest{})));
+    auto reply = protocol::Expect<protocol::StatsReply>(protocol::Call(
+        **client, protocol::Message(protocol::StatsRequest{}), next_req_id++));
     if (!reply.ok()) {
       std::fprintf(stderr, "stats failed: %s\n",
                    reply.status().ToString().c_str());

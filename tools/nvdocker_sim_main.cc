@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
   request.container_id = name;
   request.memory_limit = limit;
   auto registered = protocol::Expect<protocol::RegisterReply>(
-      protocol::Call(**client, protocol::Message(request)));
+      protocol::Call(**client, protocol::Message(request), /*req_id=*/1));
   if (!registered.ok()) {
     return Fail("register failed: " + registered.status().ToString());
   }
