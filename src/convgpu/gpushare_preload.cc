@@ -14,7 +14,10 @@
 // Environment (set by the customized nvidia-docker):
 //   CONVGPU_SOCKET        per-container scheduler socket. Unset => the
 //                         wrapper is transparent (pure forwarding).
-//   CONVGPU_CONTAINER_ID  informational (the socket already scopes us).
+//   CONVGPU_CONTAINER_ID  enables the hello handshake and transparent
+//                         reconnect: the link survives scheduler restarts,
+//                         reattaching with this process's live-allocation
+//                         snapshot. Unset => legacy one-shot connection.
 #include <dlfcn.h>
 #include <unistd.h>
 
@@ -185,11 +188,21 @@ PreloadState& State() {
     PreloadState s;
     const char* socket = std::getenv("CONVGPU_SOCKET");
     if (socket != nullptr && socket[0] != '\0') {
-      auto link = convgpu::SocketSchedulerLink::Connect(socket);
+      const convgpu::Pid pid = static_cast<convgpu::Pid>(::getpid());
+      convgpu::SocketSchedulerLink::Options options;
+      const char* container_id = std::getenv("CONVGPU_CONTAINER_ID");
+      if (container_id != nullptr && container_id[0] != '\0') {
+        options.container_id = container_id;
+        options.pid = pid;
+        options.auto_reconnect = true;
+      }
+      auto link = convgpu::SocketSchedulerLink::Connect(socket, options);
       if (link.ok()) {
         s.link = std::move(*link);
         s.wrapper = std::make_unique<convgpu::WrapperCore>(
-            &s.next, s.link.get(), static_cast<convgpu::Pid>(::getpid()));
+            &s.next, s.link.get(), pid);
+        s.link->SetSnapshotProvider(
+            [wrapper = s.wrapper.get()] { return wrapper->LiveAllocations(); });
       } else {
         std::fprintf(stderr,
                      "libgpushare: cannot reach ConVGPU scheduler at %s: %s\n",

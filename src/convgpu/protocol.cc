@@ -107,12 +107,13 @@ json::Json Serialize(const Message& message) {
           return Obj("pong");
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           return Obj("stats");
-        } else {
-          static_assert(std::is_same_v<T, StatsReply>);
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
           Json j = Obj("stats_reply");
           j["capacity"] = m.capacity;
           j["free_pool"] = m.free_pool;
           j["policy"] = m.policy;
+          j["kicked_connections"] =
+              static_cast<std::int64_t>(m.kicked_connections);
           json::Array containers;
           for (const auto& c : m.containers) {
             Json entry;
@@ -124,9 +125,45 @@ json::Json Serialize(const Message& message) {
             entry["total_suspended_sec"] = c.total_suspended_sec;
             entry["suspend_episodes"] =
                 static_cast<std::int64_t>(c.suspend_episodes);
+            entry["kicked_connections"] =
+                static_cast<std::int64_t>(c.kicked_connections);
             containers.push_back(std::move(entry));
           }
           j["containers"] = std::move(containers);
+          return j;
+        } else if constexpr (std::is_same_v<T, Hello>) {
+          Json j = Obj("hello");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          return j;
+        } else if constexpr (std::is_same_v<T, HelloReply>) {
+          Json j = Obj("hello_reply");
+          j["ok"] = m.ok;
+          if (!m.error.empty()) j["error"] = m.error;
+          j["epoch"] = static_cast<std::int64_t>(m.epoch);
+          j["limit"] = m.limit;
+          return j;
+        } else if constexpr (std::is_same_v<T, Reattach>) {
+          Json j = Obj("reattach");
+          j["container_id"] = m.container_id;
+          j["pid"] = m.pid;
+          j["epoch"] = static_cast<std::int64_t>(m.epoch);
+          j["limit"] = m.limit;
+          json::Array allocations;
+          for (const auto& a : m.allocations) {
+            Json entry;
+            entry["address"] = static_cast<std::int64_t>(a.address);
+            entry["size"] = a.size;
+            allocations.push_back(std::move(entry));
+          }
+          j["allocations"] = std::move(allocations);
+          return j;
+        } else {
+          static_assert(std::is_same_v<T, ReattachReply>);
+          Json j = Obj("reattach_reply");
+          j["ok"] = m.ok;
+          if (!m.error.empty()) j["error"] = m.error;
+          j["epoch"] = static_cast<std::int64_t>(m.epoch);
           return j;
         }
       },
@@ -164,7 +201,11 @@ std::string_view TypeName(const Message& message) {
         else if constexpr (std::is_same_v<T, Ping>) return "ping";
         else if constexpr (std::is_same_v<T, Pong>) return "pong";
         else if constexpr (std::is_same_v<T, StatsRequest>) return "stats";
-        else return "stats_reply";
+        else if constexpr (std::is_same_v<T, StatsReply>) return "stats_reply";
+        else if constexpr (std::is_same_v<T, Hello>) return "hello";
+        else if constexpr (std::is_same_v<T, HelloReply>) return "hello_reply";
+        else if constexpr (std::is_same_v<T, Reattach>) return "reattach";
+        else return "reattach_reply";
       },
       message);
 }
@@ -290,6 +331,8 @@ Result<Message> Parse(const json::Json& j) {
     m.capacity = j.GetInt("capacity").value_or(0);
     m.free_pool = j.GetInt("free_pool").value_or(0);
     m.policy = j.GetString("policy").value_or("");
+    m.kicked_connections =
+        static_cast<std::uint64_t>(j.GetInt("kicked_connections").value_or(0));
     if (const Json* containers = j.Find("containers");
         containers != nullptr && containers->is_array()) {
       for (const Json& entry : containers->as_array()) {
@@ -303,9 +346,63 @@ Result<Message> Parse(const json::Json& j) {
             entry.GetDouble("total_suspended_sec").value_or(0.0);
         c.suspend_episodes = static_cast<std::uint64_t>(
             entry.GetInt("suspend_episodes").value_or(0));
+        c.kicked_connections = static_cast<std::uint64_t>(
+            entry.GetInt("kicked_connections").value_or(0));
         m.containers.push_back(std::move(c));
       }
     }
+    return Message(m);
+  }
+  if (*type == "hello") {
+    Hello m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    return Message(m);
+  }
+  if (*type == "hello_reply") {
+    HelloReply m;
+    m.ok = j.GetBool("ok").value_or(false);
+    m.error = j.GetString("error").value_or("");
+    m.epoch = static_cast<std::uint64_t>(j.GetInt("epoch").value_or(0));
+    m.limit = j.GetInt("limit").value_or(0);
+    return Message(m);
+  }
+  if (*type == "reattach") {
+    Reattach m;
+    auto id = ReqString(j, *type, "container_id");
+    if (!id.ok()) return id.status();
+    auto pid = ReqInt(j, *type, "pid");
+    if (!pid.ok()) return pid.status();
+    auto epoch = ReqInt(j, *type, "epoch");
+    if (!epoch.ok()) return epoch.status();
+    m.container_id = *id;
+    m.pid = *pid;
+    m.epoch = static_cast<std::uint64_t>(*epoch);
+    m.limit = j.GetInt("limit").value_or(0);
+    if (const Json* allocations = j.Find("allocations");
+        allocations != nullptr && allocations->is_array()) {
+      for (const Json& entry : allocations->as_array()) {
+        auto address = ReqInt(entry, *type, "address");
+        if (!address.ok()) return address.status();
+        auto size = ReqInt(entry, *type, "size");
+        if (!size.ok()) return size.status();
+        LiveAlloc a;
+        a.address = static_cast<std::uint64_t>(*address);
+        a.size = *size;
+        m.allocations.push_back(a);
+      }
+    }
+    return Message(m);
+  }
+  if (*type == "reattach_reply") {
+    ReattachReply m;
+    m.ok = j.GetBool("ok").value_or(false);
+    m.error = j.GetString("error").value_or("");
+    m.epoch = static_cast<std::uint64_t>(j.GetInt("epoch").value_or(0));
     return Message(m);
   }
   return InvalidArgumentError("unknown message type: " + *type);

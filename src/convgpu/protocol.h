@@ -13,6 +13,7 @@
 //   tooling        → scheduler : ping, stats          (request/reply)
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <variant>
@@ -29,6 +30,7 @@ namespace convgpu::protocol {
 struct RegisterContainer {
   std::string container_id;
   std::optional<Bytes> memory_limit;  // absent => scheduler default (1 GiB)
+  bool operator==(const RegisterContainer&) const = default;
 };
 
 struct RegisterReply {
@@ -36,6 +38,7 @@ struct RegisterReply {
   std::string error;
   std::string socket_dir;   // per-container directory (volume source)
   std::string socket_path;  // UNIX socket inside that directory
+  bool operator==(const RegisterReply&) const = default;
 };
 
 struct AllocRequest {
@@ -43,11 +46,13 @@ struct AllocRequest {
   Pid pid = 0;
   Bytes size = 0;       // wrapper-adjusted size (pitch / managed rounding)
   std::string api;      // originating CUDA API name, for logging/stats
+  bool operator==(const AllocRequest&) const = default;
 };
 
 struct AllocReply {
   bool granted = false;
   std::string error;
+  bool operator==(const AllocReply&) const = default;
 };
 
 struct AllocCommit {
@@ -55,43 +60,56 @@ struct AllocCommit {
   Pid pid = 0;
   std::uint64_t address = 0;
   Bytes size = 0;
+  bool operator==(const AllocCommit&) const = default;
 };
 
 struct AllocAbort {
   std::string container_id;
   Pid pid = 0;
   Bytes size = 0;
+  bool operator==(const AllocAbort&) const = default;
 };
 
 struct FreeNotify {
   std::string container_id;
   Pid pid = 0;
   std::uint64_t address = 0;
+  bool operator==(const FreeNotify&) const = default;
 };
 
 struct MemGetInfoRequest {
   std::string container_id;
   Pid pid = 0;
+  bool operator==(const MemGetInfoRequest&) const = default;
 };
 
 struct MemInfoReply {
   Bytes free = 0;
   Bytes total = 0;
+  bool operator==(const MemInfoReply&) const = default;
 };
 
 struct ProcessExit {
   std::string container_id;
   Pid pid = 0;
+  bool operator==(const ProcessExit&) const = default;
 };
 
 struct ContainerClose {
   std::string container_id;
+  bool operator==(const ContainerClose&) const = default;
 };
 
-struct Ping {};
-struct Pong {};
+struct Ping {
+  bool operator==(const Ping&) const = default;
+};
+struct Pong {
+  bool operator==(const Pong&) const = default;
+};
 
-struct StatsRequest {};
+struct StatsRequest {
+  bool operator==(const StatsRequest&) const = default;
+};
 
 struct ContainerStatsWire {
   std::string container_id;
@@ -101,20 +119,71 @@ struct ContainerStatsWire {
   bool suspended = false;
   double total_suspended_sec = 0.0;
   std::uint64_t suspend_episodes = 0;
+  std::uint64_t kicked_connections = 0;  // backpressure disconnects on this
+                                         // container's listener
+  bool operator==(const ContainerStatsWire&) const = default;
 };
 
 struct StatsReply {
   Bytes capacity = 0;
   Bytes free_pool = 0;
   std::string policy;
+  std::uint64_t kicked_connections = 0;  // total across all listeners
   std::vector<ContainerStatsWire> containers;
+  bool operator==(const StatsReply&) const = default;
+};
+
+/// One live device allocation in a wrapper's reattach snapshot.
+struct LiveAlloc {
+  std::uint64_t address = 0;
+  Bytes size = 0;
+  bool operator==(const LiveAlloc&) const = default;
+};
+
+/// First message a reconnect-capable wrapper link sends on its initial
+/// connection to the per-container socket. The reply teaches the link the
+/// daemon's session epoch and the container's declared limit — everything
+/// it needs to reattach after a daemon restart.
+struct Hello {
+  std::string container_id;
+  Pid pid = 0;
+  bool operator==(const Hello&) const = default;
+};
+
+struct HelloReply {
+  bool ok = false;
+  std::string error;
+  std::uint64_t epoch = 0;  // daemon session epoch; changes on restart
+  Bytes limit = 0;          // the container's declared memory limit
+  bool operator==(const HelloReply&) const = default;
+};
+
+/// Sent instead of Hello when the link reconnects after losing the daemon:
+/// carries the wrapper-local ledger snapshot (the pid's live allocations
+/// plus the limit learned at Hello) so a restarted daemon can rebuild its
+/// per-container state from the wrapper's ground truth.
+struct Reattach {
+  std::string container_id;
+  Pid pid = 0;
+  std::uint64_t epoch = 0;  // the epoch learned from Hello/ReattachReply
+  Bytes limit = 0;          // declared limit learned from HelloReply
+  std::vector<LiveAlloc> allocations;
+  bool operator==(const Reattach&) const = default;
+};
+
+struct ReattachReply {
+  bool ok = false;
+  std::string error;
+  std::uint64_t epoch = 0;  // the daemon's *current* epoch
+  bool operator==(const ReattachReply&) const = default;
 };
 
 using Message =
     std::variant<RegisterContainer, RegisterReply, AllocRequest, AllocReply,
                  AllocCommit, AllocAbort, FreeNotify, MemGetInfoRequest,
                  MemInfoReply, ProcessExit, ContainerClose, Ping, Pong,
-                 StatsRequest, StatsReply>;
+                 StatsRequest, StatsReply, Hello, HelloReply, Reattach,
+                 ReattachReply>;
 
 /// Request-correlation id. Ids are assigned by the *requesting* side, are
 /// opaque to the scheduler, and scope to one connection; a peer echoes the
@@ -122,6 +191,12 @@ using Message =
 /// without an id remain fully valid — the pre-correlation protocol — so
 /// old and new peers interoperate in both directions.
 using ReqId = std::uint64_t;
+
+/// Largest id representable on the wire: ids ride in a JSON integer field
+/// (signed 64-bit), so the usable space is [1, INT64_MAX]. Issuers wrap
+/// back to 1 past this — see ReplyRouter.
+inline constexpr ReqId kMaxWireReqId =
+    static_cast<ReqId>(std::numeric_limits<std::int64_t>::max());
 
 /// Serializes any message (adds the "type" discriminator).
 json::Json Serialize(const Message& message);

@@ -324,6 +324,139 @@ Status SchedulerCore::ProcessExit(const std::string& id, Pid pid) {
   return status;
 }
 
+Status SchedulerCore::RestoreProcess(
+    const std::string& id, std::optional<Bytes> limit, Pid pid,
+    const std::vector<RestoredAlloc>& allocations) {
+  MutexLock lock(mutex_);
+
+  // Validate the snapshot before touching any state.
+  Bytes total_alloc = 0;
+  std::map<std::uint64_t, Bytes> snapshot;
+  for (const auto& alloc : allocations) {
+    if (alloc.size <= 0) {
+      return InvalidArgumentError("reattach snapshot for " + id +
+                                  ": non-positive allocation size");
+    }
+    if (!snapshot.emplace(alloc.address, alloc.size).second) {
+      return InvalidArgumentError("reattach snapshot for " + id +
+                                  ": duplicate address");
+    }
+    total_alloc += alloc.size;
+  }
+
+  const ContainerAccount* account = ledger_.Find(id);
+  bool registered_here = false;
+  if (account == nullptr) {
+    const Bytes effective = limit.value_or(options_.default_limit);
+    CONVGPU_RETURN_IF_ERROR(
+        ledger_.Register(id, effective, options_.first_alloc_overhead, Now()));
+    registered_here = true;
+    account = ledger_.Find(id);
+    CONVGPU_LOG(kInfo, kTag)
+        << "reattach re-registered " << id << " limit "
+        << FormatByteSize(effective) << " (daemon restart recovery)";
+  } else if (limit && *limit != account->declared_limit) {
+    return FailedPreconditionError(
+        "reattach limit " + FormatByteSize(*limit) + " disagrees with " + id +
+        "'s registered limit " + FormatByteSize(account->declared_limit));
+  }
+
+  if (auto pid_it = account->pids.find(pid); pid_it != account->pids.end()) {
+    // The pid is already on the books — a reattach that raced ahead of the
+    // old connection's disconnect, or one duplicated by a connection lost
+    // mid-handshake. An exactly-matching snapshot is the idempotent no-op;
+    // a disagreeing one means a commit or free notification was lost in
+    // the blip, and the wrapper's snapshot is authoritative (it mirrors
+    // what the device actually holds): release the stale state and rebuild
+    // from the snapshot below.
+    if (snapshot == pid_it->second.allocations) return Status::Ok();
+    CONVGPU_LOG(kInfo, kTag)
+        << "reattach of pid " << pid << " in " << id
+        << " disagrees with the ledger; reconciling from the snapshot";
+    CONVGPU_RETURN_IF_ERROR(
+        ledger_.ProcessExit(id, pid, options_.first_alloc_overhead).status());
+  }
+  if (allocations.empty()) {
+    // Nothing live on the device (overhead charges on the pid's next
+    // allocation) — but a reconcile above may have released memory that
+    // un-suspends someone.
+    Callbacks callbacks;
+    TryGrantPendingLocked(id, callbacks);
+    RedistributeLocked(callbacks);
+    AuditLocked();
+    lock.Unlock();
+    Fire(callbacks);
+    return Status::Ok();
+  }
+
+  const Bytes overhead =
+      ledger_.OverheadDue(id, pid, options_.first_alloc_overhead);
+  const Bytes total = total_alloc + overhead;
+  Status status = Status::Ok();
+  if (account->used + total > account->limit) {
+    status = FailedPreconditionError("reattach snapshot for " + id +
+                                     " exceeds the container limit");
+  }
+  if (status.ok() && account->used + total > account->assigned) {
+    // The restored memory is *already allocated on the device*, so the
+    // assignment must cover it now — no suspension is possible here.
+    // kResourceExhausted means the pool re-promised the crashed daemon's
+    // memory elsewhere before this wrapper got through.
+    status = ledger_.TopUp(id, account->used + total - account->assigned);
+  }
+  bool reserved = false;
+  bool overhead_charged = false;
+  Bytes committed = 0;
+  if (status.ok()) {
+    status = ledger_.Reserve(id, total);
+    reserved = status.ok();
+  }
+  if (status.ok() && overhead > 0) {
+    status = ledger_.ChargeOverhead(id, pid, overhead);
+    overhead_charged = status.ok();
+  }
+  if (status.ok()) {
+    for (const auto& alloc : allocations) {
+      status = ledger_.Commit(id, pid, alloc.address, alloc.size);
+      if (!status.ok()) break;
+      committed += alloc.size;
+    }
+  }
+
+  if (!status.ok()) {
+    // Roll the partial restore back so the ledger stays consistent.
+    if (reserved) {
+      const Bytes leftover =
+          total - committed - (overhead_charged ? overhead : 0);
+      if (leftover > 0) (void)ledger_.Unreserve(id, leftover);
+    }
+    if (committed > 0 || overhead_charged) {
+      (void)ledger_.ProcessExit(id, pid, options_.first_alloc_overhead);
+    }
+    if (registered_here) (void)ledger_.Close(id, Now());
+    AuditLocked();
+    return status;
+  }
+
+  CONVGPU_LOG(kInfo, kTag) << "restored pid " << pid << " in " << id << ": "
+                           << allocations.size() << " allocation(s), "
+                           << FormatByteSize(total) << " (incl. overhead)";
+  // A reconcile may have shrunk net usage (a lost free): whatever came
+  // back can un-suspend queued requests here or elsewhere.
+  Callbacks callbacks;
+  TryGrantPendingLocked(id, callbacks);
+  RedistributeLocked(callbacks);
+  AuditLocked();
+  lock.Unlock();
+  Fire(callbacks);
+  return Status::Ok();
+}
+
+bool SchedulerCore::HasContainer(const std::string& id) const {
+  MutexLock lock(mutex_);
+  return ledger_.Find(id) != nullptr;
+}
+
 Status SchedulerCore::ContainerClose(const std::string& id) {
   Callbacks callbacks;
   Status status;

@@ -110,6 +110,34 @@ class SchedulerCore {
   /// __cudaUnregisterFatBinary: drop every allocation owned by the pid.
   Status ProcessExit(const std::string& id, Pid pid);
 
+  // --- Reattach (daemon restart recovery) -----------------------------------
+
+  /// One allocation in a wrapper's reattach snapshot.
+  struct RestoredAlloc {
+    std::uint64_t address = 0;
+    Bytes size = 0;
+  };
+
+  /// Rebuilds one pid's ledger state from the wrapper's reattach snapshot
+  /// (see protocol::Reattach). Registers the container when absent (`limit`
+  /// empty applies the default; a limit disagreeing with an existing
+  /// registration is kFailedPrecondition), then re-reserves and re-commits
+  /// every snapshot allocation plus the pid's first-allocation overhead,
+  /// topping up the assignment from the free pool as needed.
+  ///
+  /// Idempotent: when the pid is already present with *exactly* the
+  /// snapshot's allocations this is an Ok no-op (a reattach duplicated by
+  /// a connection lost mid-handshake). A disagreeing snapshot means a
+  /// commit or free notification was lost in the blip; the snapshot is
+  /// authoritative (it mirrors the device), so the pid's stale state is
+  /// released and rebuilt from it. kResourceExhausted when the free pool
+  /// cannot cover the snapshot (the memory was promised to others after
+  /// the crash); partial failures roll back completely.
+  Status RestoreProcess(const std::string& id, std::optional<Bytes> limit,
+                        Pid pid, const std::vector<RestoredAlloc>& allocations);
+
+  [[nodiscard]] bool HasContainer(const std::string& id) const;
+
   // --- Introspection --------------------------------------------------------
 
   [[nodiscard]] std::vector<ContainerStatsSnapshot> Stats() const;

@@ -20,11 +20,34 @@ SchedulerLink::ReplyFuture ImmediateReply(Result<protocol::Message> reply) {
 
 // --- ReplyRouter ------------------------------------------------------------
 
+protocol::ReqId ReplyRouter::NextIdLocked() {
+  // The wire carries ids in a signed JSON integer, so the usable space is
+  // [1, kMaxWireReqId]; wrap past the end and skip any id still pending
+  // from the previous lap.
+  for (;;) {
+    if (next_id_ == 0 || next_id_ > protocol::kMaxWireReqId) next_id_ = 1;
+    const protocol::ReqId id = next_id_++;
+    if (pending_.find(id) == pending_.end()) return id;
+  }
+}
+
 ReplyRouter::Issued ReplyRouter::Issue() {
   MutexLock lock(mutex_);
   Issued issued;
-  issued.id = next_id_++;
-  issued.reply = pending_[issued.id].get_future();
+  issued.id = NextIdLocked();
+  issued.reply = pending_[issued.id].promise.get_future();
+  return issued;
+}
+
+ReplyRouter::Issued ReplyRouter::Issue(const protocol::Message& request,
+                                       bool replayable) {
+  MutexLock lock(mutex_);
+  Issued issued;
+  issued.id = NextIdLocked();
+  Slot& slot = pending_[issued.id];
+  slot.request = request;
+  slot.replayable = replayable;
+  issued.reply = slot.promise.get_future();
   return issued;
 }
 
@@ -44,7 +67,7 @@ Status ReplyRouter::Route(std::optional<protocol::ReqId> req_id,
                 ? "duplicate reply for req_id " + std::to_string(*req_id)
                 : "reply for never-issued req_id " + std::to_string(*req_id));
       }
-      promise = std::move(it->second);
+      promise = std::move(it->second.promise);
       pending_.erase(it);
     } else {
       // Id-less peer (pre-correlation daemon): replies are FIFO because
@@ -53,7 +76,7 @@ Status ReplyRouter::Route(std::optional<protocol::ReqId> req_id,
         return FailedPreconditionError("id-less reply with no call pending");
       }
       auto it = pending_.begin();
-      promise = std::move(it->second);
+      promise = std::move(it->second.promise);
       pending_.erase(it);
     }
   }
@@ -62,14 +85,50 @@ Status ReplyRouter::Route(std::optional<protocol::ReqId> req_id,
 }
 
 void ReplyRouter::FailAll(const Status& status) {
-  std::map<protocol::ReqId, std::promise<Result<protocol::Message>>> failed;
+  std::map<protocol::ReqId, Slot> failed;
   {
     MutexLock lock(mutex_);
     failed.swap(pending_);
   }
-  for (auto& [id, promise] : failed) {
+  for (auto& [id, slot] : failed) {
+    slot.promise.set_value(Result<protocol::Message>(status));
+  }
+}
+
+std::vector<ReplyRouter::Parked> ReplyRouter::DrainForReplay(
+    const Status& status) {
+  std::vector<Parked> replay;
+  std::vector<std::promise<Result<protocol::Message>>> failed;
+  {
+    MutexLock lock(mutex_);
+    // Map order is id order is issue order, so replay preserves FIFO (the
+    // one wraparound lap where that is not strictly true is harmless: the
+    // replayed calls are idempotent and independently correlated).
+    for (auto& [id, slot] : pending_) {
+      if (slot.replayable) {
+        replay.push_back(Parked{std::move(slot.request),
+                                std::move(slot.promise)});
+      } else {
+        failed.push_back(std::move(slot.promise));
+      }
+    }
+    pending_.clear();
+    next_id_ = 1;  // the next connection is a fresh id space
+  }
+  for (auto& promise : failed) {
     promise.set_value(Result<protocol::Message>(status));
   }
+  return replay;
+}
+
+protocol::ReqId ReplyRouter::Reissue(Parked parked) {
+  MutexLock lock(mutex_);
+  const protocol::ReqId id = NextIdLocked();
+  Slot& slot = pending_[id];
+  slot.request = std::move(parked.request);
+  slot.promise = std::move(parked.promise);
+  slot.replayable = true;
+  return id;
 }
 
 std::size_t ReplyRouter::pending_count() const {
@@ -77,31 +136,93 @@ std::size_t ReplyRouter::pending_count() const {
   return pending_.size();
 }
 
+void ReplyRouter::SetNextIdForTesting(protocol::ReqId next) {
+  MutexLock lock(mutex_);
+  next_id_ = next;
+}
+
 // --- SocketSchedulerLink ----------------------------------------------------
+
+namespace {
+
+/// Replay-eligible requests: read-only or side-effect-free exchanges whose
+/// answer is valid from any daemon incarnation. Alloc/free-path calls are
+/// NOT replayable — resending an admission request the daemon may already
+/// have granted would double-count.
+bool IsReplayable(const protocol::Message& request) {
+  return std::holds_alternative<protocol::MemGetInfoRequest>(request) ||
+         std::holds_alternative<protocol::Ping>(request) ||
+         std::holds_alternative<protocol::StatsRequest>(request);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
     const std::string& socket_path) {
   auto client = ipc::MessageClient::ConnectUnix(socket_path);
   if (!client.ok()) return client.status();
-  return std::unique_ptr<SocketSchedulerLink>(
-      new SocketSchedulerLink(std::move(*client)));
+  return std::unique_ptr<SocketSchedulerLink>(new SocketSchedulerLink(
+      std::move(*client), socket_path, Options{}, /*epoch=*/0, /*limit=*/0));
+}
+
+Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
+    const std::string& socket_path, Options options) {
+  auto client =
+      ipc::MessageClient::ConnectUnix(socket_path, options.handshake_timeout);
+  if (!client.ok()) return client.status();
+
+  std::uint64_t epoch = 0;
+  Bytes limit = 0;
+  if (!options.container_id.empty()) {
+    protocol::Hello hello;
+    hello.container_id = options.container_id;
+    hello.pid = options.pid;
+    CONVGPU_RETURN_IF_ERROR(
+        (*client)->Send(protocol::Serialize(protocol::Message(hello))));
+    auto raw = (*client)->Recv(options.handshake_timeout);
+    if (!raw.ok()) return raw.status();
+    auto reply = protocol::Expect<protocol::HelloReply>(protocol::Parse(*raw));
+    if (!reply.ok()) return reply.status();
+    if (!reply->ok) {
+      return FailedPreconditionError("hello rejected by scheduler: " +
+                                     reply->error);
+    }
+    epoch = reply->epoch;
+    limit = reply->limit;
+  }
+  return std::unique_ptr<SocketSchedulerLink>(new SocketSchedulerLink(
+      std::move(*client), socket_path, std::move(options), epoch, limit));
 }
 
 SocketSchedulerLink::SocketSchedulerLink(
-    std::unique_ptr<ipc::MessageClient> client)
-    : client_(std::move(client)) {
-  reader_ = std::thread([this] { ReadLoop(); });
+    std::unique_ptr<ipc::MessageClient> client, std::string socket_path,
+    Options options, std::uint64_t epoch, Bytes limit)
+    : socket_path_(std::move(socket_path)), options_(std::move(options)) {
+  client_ = std::move(client);
+  epoch_ = epoch;
+  limit_ = limit;
+  snapshot_ = options_.snapshot;
+  worker_ = std::thread([this] { WorkerLoop(); });
 }
 
 SocketSchedulerLink::~SocketSchedulerLink() {
+  std::shared_ptr<ipc::MessageClient> client;
   {
     MutexLock lock(state_mutex_);
+    closing_ = true;
     if (broken_.ok()) broken_ = UnavailableError("scheduler link closed");
+    client = client_;
   }
-  // Wakes the reader's blocking Recv() with EOF; it then fails any still-
-  // outstanding calls and exits.
-  client_->Shutdown();
-  if (reader_.joinable()) reader_.join();
+  backoff_cv_.notify_all();      // interrupts a reconnect backoff wait
+  if (client) client->Shutdown();  // wakes a reader blocked in Recv()
+  if (worker_.joinable()) worker_.join();
+  // The worker's exit path has already failed every waiting caller.
+}
+
+void SocketSchedulerLink::SetSnapshotProvider(
+    std::function<std::vector<protocol::LiveAlloc>()> snapshot) {
+  MutexLock lock(state_mutex_);
+  snapshot_ = std::move(snapshot);
 }
 
 Status SocketSchedulerLink::BrokenStatus() const {
@@ -109,26 +230,30 @@ Status SocketSchedulerLink::BrokenStatus() const {
   return broken_;
 }
 
-void SocketSchedulerLink::ReadLoop() {
+std::uint64_t SocketSchedulerLink::session_epoch() const {
+  MutexLock lock(state_mutex_);
+  return epoch_;
+}
+
+std::uint64_t SocketSchedulerLink::reconnect_count() const {
+  MutexLock lock(state_mutex_);
+  return reconnects_;
+}
+
+std::uint64_t SocketSchedulerLink::replayed_call_count() const {
+  MutexLock lock(state_mutex_);
+  return replayed_;
+}
+
+bool SocketSchedulerLink::connected() const {
+  MutexLock lock(state_mutex_);
+  return broken_.ok() && state_ == LinkState::kConnected;
+}
+
+Status SocketSchedulerLink::ReadLoop(ipc::MessageClient& client) {
   for (;;) {
-    auto raw = client_->Recv();
-    if (!raw.ok()) {
-      // EOF or read error: the peer is gone. Every caller still waiting —
-      // including one whose request was sent but never answered — gets the
-      // same typed error instead of a silent hang or a lost reply.
-      Status down = UnavailableError("scheduler connection lost: " +
-                                     raw.status().ToString());
-      {
-        MutexLock lock(state_mutex_);
-        if (broken_.ok()) {
-          broken_ = down;
-        } else {
-          down = broken_;  // deliberate close: keep the first cause
-        }
-      }
-      router_.FailAll(down);
-      return;
-    }
+    auto raw = client.Recv();
+    if (!raw.ok()) return raw.status();
     const std::optional<protocol::ReqId> req_id = protocol::PeekReqId(*raw);
     auto message = protocol::Parse(*raw);
     const Status routed =
@@ -142,28 +267,229 @@ void SocketSchedulerLink::ReadLoop() {
   }
 }
 
+void SocketSchedulerLink::FailEverything(const Status& status) {
+  Status final_status = status;
+  std::vector<ReplyRouter::Parked> waiting;
+  {
+    MutexLock lock(state_mutex_);
+    if (broken_.ok()) {
+      broken_ = status;
+    } else {
+      final_status = broken_;  // deliberate close: keep the first cause
+    }
+    state_ = LinkState::kBroken;
+    waiting.swap(waiting_);
+  }
+  router_.FailAll(final_status);
+  for (auto& parked : waiting) {
+    parked.promise.set_value(Result<protocol::Message>(final_status));
+  }
+}
+
+void SocketSchedulerLink::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<ipc::MessageClient> client;
+    {
+      MutexLock lock(state_mutex_);
+      client = client_;
+    }
+    const Status receive_error = ReadLoop(*client);
+    const Status down = UnavailableError("scheduler connection lost: " +
+                                         receive_error.ToString());
+    {
+      MutexLock lock(state_mutex_);
+      if (closing_ || !options_.auto_reconnect) {
+        lock.Unlock();
+        // EOF or read error with no reconnect: every caller still waiting —
+        // including one whose request was sent but never answered — gets
+        // the same typed error instead of a silent hang or a lost reply.
+        FailEverything(down);
+        return;
+      }
+      state_ = LinkState::kReconnecting;
+    }
+    // Fail the non-replayable in-flight calls (an admission the daemon may
+    // already have acted on must not be resent); park the idempotent ones.
+    auto parked = router_.DrainForReplay(UnavailableError(
+        "scheduler connection lost with this call in flight; " +
+        std::string("the call is not replay-safe")));
+    {
+      MutexLock lock(state_mutex_);
+      for (auto& p : parked) waiting_.push_back(std::move(p));
+    }
+    if (!Reconnect()) return;
+  }
+}
+
+bool SocketSchedulerLink::Reconnect() {
+  std::chrono::milliseconds backoff = options_.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    {
+      MutexLock lock(state_mutex_);
+      if (closing_) {
+        lock.Unlock();
+        FailEverything(UnavailableError("scheduler link closed"));
+        return false;
+      }
+    }
+
+    auto fresh = ipc::MessageClient::ConnectUnix(socket_path_,
+                                                 options_.handshake_timeout);
+    Status result = fresh.ok() ? ReattachHandshake(**fresh) : fresh.status();
+    if (result.ok()) {
+      std::shared_ptr<ipc::MessageClient> client = std::move(*fresh);
+      std::vector<ReplyRouter::Parked> replay;
+      {
+        MutexLock lock(state_mutex_);
+        if (closing_) {
+          lock.Unlock();
+          FailEverything(UnavailableError("scheduler link closed"));
+          return false;
+        }
+        client_ = client;
+        state_ = LinkState::kConnected;
+        replay.swap(waiting_);
+        ++reconnects_;
+        replayed_ += replay.size();
+      }
+      CONVGPU_LOG(kInfo, kTag)
+          << "reattached to scheduler after " << attempt
+          << " attempt(s); replaying " << replay.size() << " call(s)";
+      for (auto& parked : replay) {
+        const protocol::Message request = parked.request;
+        const protocol::ReqId id = router_.Reissue(std::move(parked));
+        const Status sent = client->Send(protocol::Serialize(request, id));
+        if (!sent.ok()) {
+          // The fresh connection died already. Force the reader to see it;
+          // the next drain re-parks this (still replayable) call.
+          client->Shutdown();
+          break;
+        }
+      }
+      return true;
+    }
+
+    if (result.code() == StatusCode::kFailedPrecondition) {
+      // The daemon answered and said no (stale epoch / conflicting state):
+      // retrying cannot help, the link is done for good.
+      CONVGPU_LOG(kWarn, kTag)
+          << "reattach rejected, link is permanently down: "
+          << result.ToString();
+      FailEverything(result);
+      return false;
+    }
+    CONVGPU_LOG(kInfo, kTag) << "reconnect attempt " << attempt
+                             << " failed: " << result.ToString();
+
+    {
+      MutexLock lock(state_mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + backoff;
+      while (!closing_ &&
+             backoff_cv_.wait_until(state_mutex_, deadline) !=
+                 std::cv_status::timeout) {
+      }
+      if (closing_) {
+        lock.Unlock();
+        FailEverything(UnavailableError("scheduler link closed"));
+        return false;
+      }
+    }
+    backoff = std::min(backoff * 2, options_.max_backoff);
+  }
+}
+
+Status SocketSchedulerLink::ReattachHandshake(ipc::MessageClient& client) {
+  if (options_.container_id.empty()) return Status::Ok();  // no handshake
+
+  protocol::Reattach reattach;
+  std::function<std::vector<protocol::LiveAlloc>()> snapshot;
+  {
+    MutexLock lock(state_mutex_);
+    reattach.container_id = options_.container_id;
+    reattach.pid = options_.pid;
+    reattach.epoch = epoch_;
+    reattach.limit = limit_;
+    snapshot = snapshot_;
+  }
+  if (snapshot) reattach.allocations = snapshot();
+
+  CONVGPU_RETURN_IF_ERROR(
+      client.Send(protocol::Serialize(protocol::Message(reattach))));
+  auto raw = client.Recv(options_.handshake_timeout);
+  if (!raw.ok()) return raw.status();
+  auto reply = protocol::Expect<protocol::ReattachReply>(protocol::Parse(*raw));
+  if (!reply.ok()) return reply.status();
+  if (!reply->ok) {
+    return FailedPreconditionError("reattach rejected by scheduler: " +
+                                   reply->error);
+  }
+  MutexLock lock(state_mutex_);
+  epoch_ = reply->epoch;  // a restarted daemon hands out its new epoch
+  return Status::Ok();
+}
+
 SchedulerLink::ReplyFuture SocketSchedulerLink::AsyncCall(
     const protocol::Message& request) {
-  if (const Status broken = BrokenStatus(); !broken.ok()) {
-    return ImmediateReply(Result<protocol::Message>(broken));
+  const bool replayable = IsReplayable(request);
+  std::shared_ptr<ipc::MessageClient> client;
+  ReplyRouter::Issued issued;
+  {
+    MutexLock lock(state_mutex_);
+    if (!broken_.ok()) {
+      return ImmediateReply(Result<protocol::Message>(broken_));
+    }
+    if (state_ == LinkState::kReconnecting) {
+      if (!replayable) {
+        return ImmediateReply(Result<protocol::Message>(UnavailableError(
+            "scheduler restarting: " +
+            std::string(protocol::TypeName(request)) +
+            " is not replay-safe")));
+      }
+      // Park it: completes after the next successful reattach.
+      ReplyRouter::Parked parked;
+      parked.request = request;
+      auto future = parked.promise.get_future();
+      waiting_.push_back(std::move(parked));
+      return future;
+    }
+    client = client_;
+    issued = options_.auto_reconnect ? router_.Issue(request, replayable)
+                                     : router_.Issue();
   }
-  auto issued = router_.Issue();
-  const Status sent =
-      client_->Send(protocol::Serialize(request, issued.id));
+  const Status sent = client->Send(protocol::Serialize(request, issued.id));
   if (!sent.ok()) {
-    // Complete this slot only; the reader handles connection-level death.
-    // Route can lose the race against the reader's FailAll — then the
-    // future already holds kUnavailable and this is a harmless no-op.
-    (void)router_.Route(issued.id,
-                        Result<protocol::Message>(UnavailableError(
-                            "cannot reach scheduler: " + sent.ToString())));
+    if (options_.auto_reconnect) {
+      // Convert any send failure into connection loss: the reader wakes,
+      // the worker drains the router, and this call is parked (replayable)
+      // or failed (alloc-path) by the same rules as a receive-side loss.
+      client->Shutdown();
+    } else {
+      // Complete this slot only; the reader handles connection-level death.
+      // Route can lose the race against the reader's FailAll — then the
+      // future already holds kUnavailable and this is a harmless no-op.
+      (void)router_.Route(issued.id,
+                          Result<protocol::Message>(UnavailableError(
+                              "cannot reach scheduler: " + sent.ToString())));
+    }
   }
   return std::move(issued.reply);
 }
 
 Status SocketSchedulerLink::Notify(const protocol::Message& message) {
-  if (const Status broken = BrokenStatus(); !broken.ok()) return broken;
-  return protocol::Notify(*client_, message);
+  std::shared_ptr<ipc::MessageClient> client;
+  {
+    MutexLock lock(state_mutex_);
+    if (!broken_.ok()) return broken_;
+    if (state_ == LinkState::kReconnecting) {
+      // Dropped, not queued: the reattach snapshot carries the wrapper's
+      // ground truth, so the daemon reconciles on reconnect anyway.
+      return UnavailableError("scheduler restarting; notification not sent");
+    }
+    client = client_;
+  }
+  const Status sent = protocol::Notify(*client, message);
+  if (!sent.ok() && options_.auto_reconnect) client->Shutdown();
+  return sent;
 }
 
 // --- DirectSchedulerLink ----------------------------------------------------

@@ -16,11 +16,15 @@
 // per-link mutex; an id-less peer still works, see ReplyRouter::Route.)
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/result.h"
@@ -56,8 +60,11 @@ class SchedulerLink {
 };
 
 /// Matches replies to outstanding requests by protocol::ReqId. One router
-/// per connection: ids are issued from a connection-scoped counter starting
-/// at 1, so a reconnect gets a fresh id space. Thread-safe.
+/// per connection *incarnation*: ids are issued from a connection-scoped
+/// counter starting at 1, and a reconnect resets the space (see
+/// DrainForReplay). Ids wrap within [1, protocol::kMaxWireReqId] — the
+/// wire carries them in a signed JSON integer — skipping any id still
+/// pending after a wrap. Thread-safe.
 class ReplyRouter {
  public:
   struct Issued {
@@ -65,9 +72,22 @@ class ReplyRouter {
     SchedulerLink::ReplyFuture reply;
   };
 
+  /// A replay-eligible call pulled out by DrainForReplay: the original
+  /// request plus the promise its caller is still waiting on. Reissue()
+  /// puts it back under a fresh id on the next connection.
+  struct Parked {
+    protocol::Message request;
+    std::promise<Result<protocol::Message>> promise;
+  };
+
   /// Issues the next request id together with the future its reply will
-  /// complete.
+  /// complete. This overload records nothing for replay — on connection
+  /// loss the call fails like any other.
   Issued Issue();
+
+  /// Issue() that additionally remembers `request`; when `replayable` the
+  /// call survives connection loss via DrainForReplay instead of failing.
+  Issued Issue(const protocol::Message& request, bool replayable);
 
   /// Completes the pending call `req_id` names. An absent id routes to the
   /// oldest outstanding call — the pre-correlation protocol, where replies
@@ -81,47 +101,146 @@ class ReplyRouter {
   /// Route()s find nothing pending.
   void FailAll(const Status& status);
 
+  /// Connection loss on a reconnecting link: fails every *non*-replayable
+  /// pending call with `status`, returns the replayable ones oldest-first
+  /// (their callers keep waiting), and resets the id space to 1 for the
+  /// next connection incarnation.
+  std::vector<Parked> DrainForReplay(const Status& status);
+
+  /// Re-enqueues a parked call on the fresh connection under a new id. The
+  /// caller's original future stays attached — only the id changes.
+  protocol::ReqId Reissue(Parked parked);
+
   [[nodiscard]] std::size_t pending_count() const;
 
+  /// Test hook for exercising id wraparound.
+  void SetNextIdForTesting(protocol::ReqId next);
+
  private:
+  struct Slot {
+    std::promise<Result<protocol::Message>> promise;
+    protocol::Message request;
+    bool replayable = false;
+  };
+
+  protocol::ReqId NextIdLocked() REQUIRES(mutex_);
+
   mutable Mutex mutex_;
   protocol::ReqId next_id_ GUARDED_BY(mutex_) = 1;
-  std::map<protocol::ReqId, std::promise<Result<protocol::Message>>> pending_
-      GUARDED_BY(mutex_);
+  std::map<protocol::ReqId, Slot> pending_ GUARDED_BY(mutex_);
+};
+
+/// Configuration for a reconnect-capable link. Default-constructed options
+/// reproduce the legacy behavior exactly: no handshake, and a lost daemon
+/// is a sticky kUnavailable on every outstanding and future call.
+struct SocketSchedulerLinkOptions {
+  /// Enables the hello/reattach handshake. Empty => no handshake (legacy
+  /// peers, tooling on the main socket).
+  std::string container_id;
+  Pid pid = 0;
+
+  /// Reconnect transparently after daemon loss: capped exponential backoff,
+  /// reattach with the wrapper's ledger snapshot, replay of idempotent
+  /// in-flight calls (mem_get_info, ping, stats). Requires container_id.
+  bool auto_reconnect = false;
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  /// Bounds connect(2) and each handshake reply wait, so a hung (accepting
+  /// but unresponsive) daemon cannot wedge the reconnect worker.
+  std::chrono::milliseconds handshake_timeout{2000};
+
+  /// The wrapper's live-allocation snapshot, sent with reattach so a
+  /// restarted daemon can rebuild this pid's ledger state. May also be set
+  /// later via SetSnapshotProvider (the wrapper is built after the link).
+  std::function<std::vector<protocol::LiveAlloc>()> snapshot;
 };
 
 class SocketSchedulerLink final : public SchedulerLink {
  public:
+  using Options = SocketSchedulerLinkOptions;
+
+  /// Legacy connect: no handshake, no reconnect.
   static Result<std::unique_ptr<SocketSchedulerLink>> Connect(
       const std::string& socket_path);
+
+  /// Connect with a hello handshake (when options.container_id is set) and
+  /// optional transparent reconnect. The handshake runs synchronously here;
+  /// a daemon that refuses the hello fails the connect.
+  static Result<std::unique_ptr<SocketSchedulerLink>> Connect(
+      const std::string& socket_path, Options options);
 
   ~SocketSchedulerLink() override;
 
   ReplyFuture AsyncCall(const protocol::Message& request) override;
   Status Notify(const protocol::Message& message) override;
 
+  /// Installs/replaces the reattach snapshot provider.
+  void SetSnapshotProvider(
+      std::function<std::vector<protocol::LiveAlloc>()> snapshot);
+
   /// Calls whose replies have not arrived yet (introspection for tests).
   [[nodiscard]] std::size_t outstanding_calls() const {
     return router_.pending_count();
   }
+  /// Daemon session epoch learned at hello/reattach; 0 without a handshake.
+  [[nodiscard]] std::uint64_t session_epoch() const;
+  /// Completed reattaches (0 until the first daemon loss is survived).
+  [[nodiscard]] std::uint64_t reconnect_count() const;
+  /// Idempotent calls resent on a fresh connection across all reconnects.
+  [[nodiscard]] std::uint64_t replayed_call_count() const;
+  /// True while a healthy connection is up (false during backoff and after
+  /// a permanent failure).
+  [[nodiscard]] bool connected() const;
 
  private:
-  explicit SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client);
+  enum class LinkState { kConnected, kReconnecting, kBroken };
 
-  /// The demultiplexing receive loop: runs on reader_, routes every frame
-  /// to its caller by req_id, and on any receive error fails all
-  /// outstanding calls with kUnavailable — a peer that disconnects between
-  /// send and receive surfaces as a typed error, never a lost reply.
-  void ReadLoop();
+  SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client,
+                      std::string socket_path, Options options,
+                      std::uint64_t epoch, Bytes limit);
 
-  /// First peer-loss status, sticky; AsyncCall/Notify fail fast with it.
+  /// Worker thread: alternates the demultiplexing receive loop with the
+  /// reconnect state machine until close or permanent failure.
+  void WorkerLoop();
+  /// Routes frames to callers by req_id until a receive error, which it
+  /// returns (the worker decides whether that is fatal or a reconnect).
+  Status ReadLoop(ipc::MessageClient& client);
+  /// Backoff/connect/reattach loop; true when a fresh connection is
+  /// installed, false on close or permanent (reattach-rejected) failure.
+  bool Reconnect();
+  /// Sends reattach on `client` and validates the reply. kUnavailable-class
+  /// errors mean "retry"; kFailedPrecondition means the daemon rejected the
+  /// reattach (stale epoch) and the link is done for good.
+  Status ReattachHandshake(ipc::MessageClient& client);
+  /// Marks the link permanently broken and fails every waiting caller.
+  void FailEverything(const Status& status);
+
+  /// First permanent-loss status, sticky; AsyncCall/Notify fail fast.
   Status BrokenStatus() const;
 
-  std::unique_ptr<ipc::MessageClient> client_;
+  const std::string socket_path_;
+  const Options options_;
   ReplyRouter router_;
+
   mutable Mutex state_mutex_;
+  std::condition_variable_any backoff_cv_;  // interrupts backoff on close
+  /// Shared so AsyncCall can send outside the lock while the worker swaps
+  /// in a fresh connection.
+  std::shared_ptr<ipc::MessageClient> client_ GUARDED_BY(state_mutex_);
+  LinkState state_ GUARDED_BY(state_mutex_) = LinkState::kConnected;
   Status broken_ GUARDED_BY(state_mutex_);
-  std::thread reader_;
+  bool closing_ GUARDED_BY(state_mutex_) = false;
+  /// Replay-eligible calls that arrived (or were drained) while the link
+  /// was down; flushed onto the next connection after reattach.
+  std::vector<ReplyRouter::Parked> waiting_ GUARDED_BY(state_mutex_);
+  std::uint64_t epoch_ GUARDED_BY(state_mutex_) = 0;
+  Bytes limit_ GUARDED_BY(state_mutex_) = 0;
+  std::function<std::vector<protocol::LiveAlloc>()> snapshot_
+      GUARDED_BY(state_mutex_);
+  std::uint64_t reconnects_ GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t replayed_ GUARDED_BY(state_mutex_) = 0;
+
+  std::thread worker_;
 };
 
 class DirectSchedulerLink final : public SchedulerLink {

@@ -1,20 +1,43 @@
 #include "convgpu/scheduler_server.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace convgpu {
 
 namespace {
 constexpr char kTag[] = "sched-srv";
 namespace fs = std::filesystem;
+
+/// A fresh epoch per SchedulerServer instance: pid + an in-process counter
+/// + the monotonic clock, whitened through splitmix64. Distinct across both
+/// daemon restarts (new pid / new clock) and in-process restarts in tests
+/// (the counter). Shifted into [1, 2^63) so it rides a signed JSON integer.
+std::uint64_t NextSessionEpoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t state =
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      counter.fetch_add(1, std::memory_order_relaxed) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  const std::uint64_t epoch = SplitMix64(state) >> 1;
+  return epoch == 0 ? 1 : epoch;
+}
 }  // namespace
 
 SchedulerServer::SchedulerServer(SchedulerServerOptions options,
                                  const Clock* clock)
-    : options_(std::move(options)), core_(options_.scheduler, clock) {}
+    : options_(std::move(options)),
+      reactor_(options_.reactor),
+      core_(options_.scheduler, clock),
+      session_epoch_(NextSessionEpoch()) {}
 
 SchedulerServer::~SchedulerServer() { Stop(); }
 
@@ -37,6 +60,29 @@ Status SchedulerServer::Start() {
   }
   auto status = reactor_.Start();
   if (!status.ok()) return status;
+
+  // Re-bind any per-container sockets a previous daemon incarnation left
+  // behind, before the main socket opens: reconnecting wrappers find a
+  // listener to reattach on, and no registration can race the scan. The
+  // channels are *dormant* — no core state until a reattach (or a fresh
+  // registration) rebuilds it.
+  std::error_code scan_ec;
+  fs::directory_iterator dirs(options_.base_dir + "/containers", scan_ec);
+  if (!scan_ec) {
+    for (const auto& entry : dirs) {
+      if (!entry.is_directory()) continue;
+      const std::string id = entry.path().filename().string();
+      auto channel = EnsureChannel(id);
+      if (channel.ok()) {
+        CONVGPU_LOG(kInfo, kTag)
+            << "re-bound dormant container socket for " << id;
+      } else {
+        CONVGPU_LOG(kWarn, kTag) << "cannot re-bind container socket for "
+                                 << id << ": " << channel.status().ToString();
+      }
+    }
+  }
+
   auto main_listener = reactor_.AddListener(
       main_socket_path(),
       [this](ipc::ListenerId, ipc::ConnectionId conn, json::Json message) {
@@ -93,65 +139,90 @@ protocol::RegisterReply SchedulerServer::DoRegister(
     return reply;
   }
 
-  // Per-container directory with its own UNIX socket — what nvidia-docker
-  // bind-mounts into the container (§III-D).
-  const std::string dir =
-      options_.base_dir + "/containers/" + request.container_id;
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
+  auto channel = EnsureChannel(request.container_id);
+  if (!channel.ok()) {
     (void)core_.ContainerClose(request.container_id);
-    reply.error = "cannot create container dir: " + ec.message();
+    reply.error = channel.status().ToString();
     return reply;
   }
 
   if (!options_.wrapper_module_path.empty()) {
-    fs::copy_file(options_.wrapper_module_path, dir + "/libgpushare.so",
+    std::error_code ec;
+    fs::copy_file(options_.wrapper_module_path,
+                  (*channel)->dir + "/libgpushare.so",
                   fs::copy_options::overwrite_existing, ec);
     if (ec) {
       CONVGPU_LOG(kWarn, kTag) << "cannot copy wrapper module: " << ec.message();
     }
   }
 
-  auto channel = std::make_shared<ContainerChannel>();
-  channel->dir = dir;
-  channel->socket_path = dir + "/convgpu.sock";
-  const std::string container_id = request.container_id;
-  // The container's socket is one more listener on the shared reactor — no
-  // thread or wake-pipe of its own.
-  auto listener = reactor_.AddListener(
-      channel->socket_path,
-      [this, container_id](ipc::ListenerId, ipc::ConnectionId conn,
-                           json::Json message) {
-        HandleContainer(container_id, conn, std::move(message));
-      },
-      [this, container_id](ipc::ListenerId, ipc::ConnectionId conn) {
-        HandleContainerDisconnect(container_id, conn);
-      });
-  if (!listener.ok()) {
-    (void)core_.ContainerClose(request.container_id);
-    reply.error = listener.status().ToString();
-    return reply;
-  }
-  channel->listener = *listener;
-
   {
     MutexLock lock(mutex_);
     if (!started_) {
       // Stop() ran while the channel was being built; it will never see
       // this channel, so tear it down here.
+      channels_.erase(request.container_id);
       lock.Unlock();
-      (void)reactor_.RemoveListener(channel->listener);
+      (void)reactor_.RemoveListener((*channel)->listener);
       (void)core_.ContainerClose(request.container_id);
       reply.error = "scheduler is shutting down";
       return reply;
     }
-    channels_[request.container_id] = channel;
+    // A fresh registration supersedes any state a previous incarnation's
+    // wrappers rebuilt: their stale cross-epoch reattaches are rejected
+    // from here on (see DoReattach).
+    reattach_built_.erase(request.container_id);
   }
   reply.ok = true;
-  reply.socket_dir = dir;
-  reply.socket_path = channel->socket_path;
+  reply.socket_dir = (*channel)->dir;
+  reply.socket_path = (*channel)->socket_path;
   return reply;
+}
+
+Result<std::shared_ptr<SchedulerServer::ContainerChannel>>
+SchedulerServer::EnsureChannel(const std::string& id) {
+  {
+    MutexLock lock(mutex_);
+    auto it = channels_.find(id);
+    if (it != channels_.end()) return it->second;  // dormant or live
+  }
+
+  // Per-container directory with its own UNIX socket — what nvidia-docker
+  // bind-mounts into the container (§III-D).
+  const std::string dir = options_.base_dir + "/containers/" + id;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create container dir: " + ec.message());
+  }
+
+  auto channel = std::make_shared<ContainerChannel>();
+  channel->dir = dir;
+  channel->socket_path = dir + "/convgpu.sock";
+  // The container's socket is one more listener on the shared reactor — no
+  // thread or wake-pipe of its own.
+  auto listener = reactor_.AddListener(
+      channel->socket_path,
+      [this, id](ipc::ListenerId, ipc::ConnectionId conn, json::Json message) {
+        HandleContainer(id, conn, std::move(message));
+      },
+      [this, id](ipc::ListenerId, ipc::ConnectionId conn) {
+        HandleContainerDisconnect(id, conn);
+      });
+  if (!listener.ok()) return listener.status();
+  channel->listener = *listener;
+
+  MutexLock lock(mutex_);
+  auto [it, inserted] = channels_.emplace(id, channel);
+  if (!inserted) {
+    // Lost a race with a concurrent EnsureChannel for the same id: keep the
+    // winner's channel, drop ours.
+    auto existing = it->second;
+    lock.Unlock();
+    (void)reactor_.RemoveListener(channel->listener);
+    return existing;
+  }
+  return channel;
 }
 
 void SchedulerServer::DoContainerClose(const std::string& container_id) {
@@ -177,6 +248,14 @@ protocol::StatsReply SchedulerServer::BuildStats() const {
   reply.capacity = core_.capacity();
   reply.free_pool = core_.free_pool();
   reply.policy = std::string(core_.policy_name());
+  reply.kicked_connections = reactor_.total_kicked_connections();
+  std::map<std::string, ipc::ListenerId> listeners;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [id, channel] : channels_) {
+      listeners[id] = channel->listener;
+    }
+  }
   for (const auto& snapshot : core_.Stats()) {
     protocol::ContainerStatsWire wire;
     wire.container_id = snapshot.id;
@@ -186,6 +265,10 @@ protocol::StatsReply SchedulerServer::BuildStats() const {
     wire.suspended = snapshot.suspended;
     wire.total_suspended_sec = ToSeconds(snapshot.total_suspended);
     wire.suspend_episodes = snapshot.suspend_episodes;
+    auto it = listeners.find(snapshot.id);
+    if (it != listeners.end()) {
+      wire.kicked_connections = reactor_.kicked_connections(it->second);
+    }
     reply.containers.push_back(std::move(wire));
   }
   return reply;
@@ -285,6 +368,26 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
             }
           },
           [&](const protocol::Ping&) { Reply(conn, protocol::Pong{}, req_id); },
+          [&](const protocol::StatsRequest&) {
+            Reply(conn, BuildStats(), req_id);
+          },
+          [&](const protocol::Hello& hello) {
+            note_pid(hello.pid);
+            protocol::HelloReply reply;
+            reply.epoch = session_epoch_;
+            auto stats = core_.StatsFor(container_id);
+            if (stats) {
+              reply.ok = true;
+              reply.limit = stats->limit;
+            } else {
+              reply.error = "unknown container: " + container_id;
+            }
+            Reply(conn, reply, req_id);
+          },
+          [&](const protocol::Reattach& reattach) {
+            Reply(conn, DoReattach(container_id, *channel, conn, reattach),
+                  req_id);
+          },
           [&](const auto& other) {
             CONVGPU_LOG(kWarn, kTag)
                 << "unexpected message on container socket: "
@@ -295,6 +398,80 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
     CONVGPU_LOG(kWarn, kTag) << "bad container message: "
                              << dispatched.ToString();
   }
+}
+
+protocol::ReattachReply SchedulerServer::DoReattach(
+    const std::string& container_id, ContainerChannel& channel,
+    ipc::ConnectionId conn, const protocol::Reattach& request) {
+  protocol::ReattachReply reply;
+  reply.epoch = session_epoch_;
+
+  const bool same_epoch = request.epoch == session_epoch_;
+  const bool known = core_.HasContainer(container_id);
+  if (same_epoch) {
+    // Connection blip within this incarnation: the disconnect handler
+    // reclaimed the pid's memory, RestoreProcess below puts it back. A
+    // container we no longer know was closed while the wrapper was away —
+    // its memory is gone for good.
+    if (!known) {
+      reply.error = "container " + container_id +
+                    " was closed while the wrapper was disconnected";
+      CONVGPU_LOG(kWarn, kTag) << "rejecting reattach: " << reply.error;
+      return reply;
+    }
+  } else {
+    // Cross-epoch: the wrapper outlived a daemon restart. Rebuild is fine
+    // for a container this incarnation never registered (or only knows
+    // through earlier reattaches) — but if the id was *freshly registered*
+    // here, the reattaching wrapper belongs to a dead tenancy of the same
+    // name and must not graft its allocations onto the new one.
+    bool rebuilt_here = false;
+    {
+      MutexLock lock(mutex_);
+      rebuilt_here = reattach_built_.count(container_id) > 0;
+    }
+    if (known && !rebuilt_here) {
+      reply.error = "epoch mismatch: container " + container_id +
+                    " was registered anew in this scheduler session";
+      CONVGPU_LOG(kWarn, kTag) << "rejecting reattach: " << reply.error;
+      return reply;
+    }
+  }
+
+  std::vector<SchedulerCore::RestoredAlloc> allocations;
+  allocations.reserve(request.allocations.size());
+  for (const auto& alloc : request.allocations) {
+    allocations.push_back({alloc.address, alloc.size});
+  }
+  std::optional<Bytes> limit;
+  if (request.limit > 0) limit = request.limit;
+  auto status =
+      core_.RestoreProcess(container_id, limit, request.pid, allocations);
+  if (!status.ok()) {
+    reply.error = status.ToString();
+    CONVGPU_LOG(kWarn, kTag) << "rejecting reattach of pid " << request.pid
+                             << " in " << container_id << ": " << reply.error;
+    return reply;
+  }
+  if (!same_epoch) {
+    MutexLock lock(mutex_);
+    reattach_built_.insert(container_id);
+  }
+  // Re-home the pid to the reattaching connection: a stale connection's
+  // late disconnect must not reclaim the memory just restored.
+  {
+    MutexLock lock(channel.pids_mutex);
+    for (auto& [other_conn, pids] : channel.pids_by_conn) {
+      pids.erase(request.pid);
+    }
+    channel.pids_by_conn[conn].insert(request.pid);
+  }
+  CONVGPU_LOG(kInfo, kTag) << "reattached pid " << request.pid << " in "
+                           << container_id << " ("
+                           << request.allocations.size() << " allocations, "
+                           << (same_epoch ? "same epoch" : "rebuilt") << ")";
+  reply.ok = true;
+  return reply;
 }
 
 void SchedulerServer::HandleContainerDisconnect(const std::string& container_id,

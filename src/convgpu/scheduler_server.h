@@ -34,6 +34,9 @@ struct SchedulerServerOptions {
   /// When non-empty, this file (libgpushare_preload.so) is copied into each
   /// container directory, as the paper's scheduler does with libgpushare.so.
   std::string wrapper_module_path;
+  /// Shared-reactor tuning (tests lower the write-queue cap to exercise
+  /// backpressure kicks).
+  ipc::MessageServer::Options reactor;
 };
 
 class SchedulerServer {
@@ -63,6 +66,11 @@ class SchedulerServer {
     return reactor_.listener_count();
   }
 
+  /// This daemon incarnation's session epoch: sent in every hello/reattach
+  /// reply so wrappers can tell a connection blip from a daemon restart.
+  /// Unique across in-process restarts, nonzero, fits a signed JSON int.
+  [[nodiscard]] std::uint64_t session_epoch() const { return session_epoch_; }
+
  private:
   struct ContainerChannel {
     ipc::ListenerId listener = 0;  // this container's socket on the reactor
@@ -82,6 +90,19 @@ class SchedulerServer {
                                  ipc::ConnectionId conn);
   protocol::RegisterReply DoRegister(const protocol::RegisterContainer& request);
   void DoContainerClose(const std::string& container_id);
+  /// Reattach admission (daemon-restart recovery): decides blip vs rebuild
+  /// vs reject by comparing the wrapper's remembered epoch against this
+  /// incarnation's, then rebuilds the pid's ledger state from the snapshot.
+  protocol::ReattachReply DoReattach(const std::string& container_id,
+                                     ContainerChannel& channel,
+                                     ipc::ConnectionId conn,
+                                     const protocol::Reattach& request);
+  /// Creates (or returns the existing) channel for `id`: per-container
+  /// directory plus a listener on the shared reactor. Used by registration
+  /// and by Start()'s dormant-socket recovery scan; the caller owns core
+  /// registration.
+  Result<std::shared_ptr<ContainerChannel>> EnsureChannel(
+      const std::string& id);
   protocol::StatsReply BuildStats() const;
   /// Serializes and queues `message` on `conn`, echoing the correlation id
   /// of the request it answers (absent for id-less old clients); a failed
@@ -95,10 +116,16 @@ class SchedulerServer {
   /// still finds a live (stopped) reactor.
   ipc::MessageServer reactor_;
   SchedulerCore core_;
+  const std::uint64_t session_epoch_;
 
   mutable Mutex mutex_;
   std::map<std::string, std::shared_ptr<ContainerChannel>> channels_
       GUARDED_BY(mutex_);
+  /// Containers whose ledger state was rebuilt from cross-epoch reattaches
+  /// (as opposed to a fresh registration in this incarnation). Later
+  /// cross-epoch reattaches for these are accepted; a fresh DoRegister
+  /// erases the mark and stale reattaches are rejected from then on.
+  std::set<std::string> reattach_built_ GUARDED_BY(mutex_);
   bool started_ GUARDED_BY(mutex_) = false;
 };
 

@@ -81,6 +81,14 @@ CudaError WrapperCore::GuardedAlloc(Bytes adjusted, const char* api,
     return error;
   }
 
+  {
+    // Recorded *before* the commit notification leaves: if the daemon dies
+    // between the two, the reattach snapshot still covers this allocation
+    // and the restarted scheduler charges it (the snapshot may overstate a
+    // commit the daemon never saw — never understate the device).
+    MutexLock lock(mutex_);
+    live_[address] = adjusted;
+  }
   protocol::AllocCommit commit;
   commit.pid = pid_;
   commit.address = address;
@@ -176,6 +184,7 @@ CudaError WrapperCore::Free(cudasim::DevicePtr dev_ptr) {
     notify.address = dev_ptr;
     (void)link_->Notify(protocol::Message(notify));
     MutexLock lock(mutex_);
+    live_.erase(dev_ptr);
     ++stats_.frees;
   }
   return error;
@@ -244,6 +253,10 @@ void WrapperCore::UnregisterFatBinary() {
   protocol::ProcessExit exit;
   exit.pid = pid_;
   (void)link_->Notify(protocol::Message(exit));
+  {
+    MutexLock lock(mutex_);
+    live_.clear();
+  }
   inner_->UnregisterFatBinary();
 }
 
@@ -262,6 +275,16 @@ CudaError WrapperCore::GetLastError() {
 WrapperStats WrapperCore::stats() const {
   MutexLock lock(mutex_);
   return stats_;
+}
+
+std::vector<protocol::LiveAlloc> WrapperCore::LiveAllocations() const {
+  MutexLock lock(mutex_);
+  std::vector<protocol::LiveAlloc> snapshot;
+  snapshot.reserve(live_.size());
+  for (const auto& [address, size] : live_) {
+    snapshot.push_back({address, size});
+  }
+  return snapshot;
 }
 
 }  // namespace convgpu

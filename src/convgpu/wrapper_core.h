@@ -19,6 +19,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/mutex.h"
@@ -75,6 +77,13 @@ class WrapperCore final : public cudasim::CudaApi {
   [[nodiscard]] WrapperStats stats() const;
   [[nodiscard]] Pid pid() const { return pid_; }
 
+  /// Snapshot of this process's live device allocations — what a
+  /// reconnecting link sends with reattach so a restarted scheduler can
+  /// rebuild the ledger. An allocation appears here from the moment the
+  /// real allocation succeeds (before the commit notification goes out, so
+  /// the snapshot never understates what the device holds) until its free.
+  [[nodiscard]] std::vector<protocol::LiveAlloc> LiveAllocations() const;
+
  private:
   /// Admission + real allocation + commit/abort, shared by all four
   /// allocation APIs. `adjusted` is the scheduler-visible size; `allocate`
@@ -93,6 +102,8 @@ class WrapperCore final : public cudasim::CudaApi {
 
   mutable Mutex mutex_;
   WrapperStats stats_ GUARDED_BY(mutex_);
+  /// address → size of every live allocation (reattach snapshot source).
+  std::map<std::uint64_t, Bytes> live_ GUARDED_BY(mutex_);
   bool geometry_loaded_ GUARDED_BY(mutex_) = false;
   Bytes pitch_alignment_ GUARDED_BY(mutex_) = 512;
   Bytes managed_granularity_ GUARDED_BY(mutex_) = 128 * kMiB;

@@ -1,13 +1,12 @@
 #include "ipc/message_server.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #ifdef __linux__
 #include <sys/epoll.h>
-#else
-#include <poll.h>
 #endif
 
 #include <array>
@@ -173,6 +172,7 @@ Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
           << connection.queued_bytes << " + " << frame.size() << " > "
           << options_.max_queued_bytes_per_connection << " bytes)";
       connection.kicked = true;
+      ++kicked_[connection.listener];
       dirty_.push_back(conn);
       if (reactor_tid_ != std::this_thread::get_id()) WakeLocked();
       return ResourceExhaustedError("connection " + std::to_string(conn) +
@@ -233,6 +233,19 @@ std::size_t MessageServer::connection_count() const {
 std::size_t MessageServer::listener_count() const {
   MutexLock lock(mutex_);
   return listeners_.size();
+}
+
+std::uint64_t MessageServer::kicked_connections(ListenerId listener) const {
+  MutexLock lock(mutex_);
+  auto it = kicked_.find(listener);
+  return it == kicked_.end() ? 0 : it->second;
+}
+
+std::uint64_t MessageServer::total_kicked_connections() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [listener, count] : kicked_) total += count;
+  return total;
 }
 
 void MessageServer::DropConnection(ConnectionId id) {
@@ -546,12 +559,35 @@ Result<std::unique_ptr<MessageClient>> MessageClient::ConnectUnix(
   return std::unique_ptr<MessageClient>(new MessageClient(std::move(*fd)));
 }
 
+Result<std::unique_ptr<MessageClient>> MessageClient::ConnectUnix(
+    const std::string& path, std::chrono::milliseconds timeout) {
+  auto fd = UnixConnect(path, timeout);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<MessageClient>(new MessageClient(std::move(*fd)));
+}
+
 Status MessageClient::Send(const json::Json& message) {
   MutexLock lock(write_mutex_);
   return WriteMessage(fd_.get(), message);
 }
 
 Result<json::Json> MessageClient::Recv() { return ReadMessage(fd_.get()); }
+
+Result<json::Json> MessageClient::Recv(std::chrono::milliseconds timeout) {
+  pollfd pfd{};
+  pfd.fd = fd_.get();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("poll(recv): ") + std::strerror(errno));
+    }
+    if (ready == 0) return DeadlineExceededError("recv: timed out");
+    break;
+  }
+  return ReadMessage(fd_.get());
+}
 
 Result<json::Json> MessageClient::Call(const json::Json& request) {
   CONVGPU_RETURN_IF_ERROR(Send(request));

@@ -18,6 +18,7 @@
 // it falls back to rebuilding a poll(2) fd vector per iteration.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -106,6 +107,13 @@ class MessageServer {
   [[nodiscard]] std::size_t connection_count() const;
   [[nodiscard]] std::size_t listener_count() const;
 
+  /// Connections kicked for blowing the write-queue cap on `listener`
+  /// (backpressure observability; counters survive RemoveListener so stats
+  /// keep attributing past kicks). Zero for unknown listeners.
+  [[nodiscard]] std::uint64_t kicked_connections(ListenerId listener) const;
+  /// Total kicked connections across all listeners, past and present.
+  [[nodiscard]] std::uint64_t total_kicked_connections() const;
+
  private:
   /// Handler pair shared by a listener and every connection accepted on it
   /// (connections keep the callbacks alive across RemoveListener).
@@ -168,6 +176,7 @@ class MessageServer {
 
   mutable Mutex mutex_;
   std::map<ListenerId, Listener> listeners_ GUARDED_BY(mutex_);
+  std::map<ListenerId, std::uint64_t> kicked_ GUARDED_BY(mutex_);
   std::map<ConnectionId, Connection> connections_ GUARDED_BY(mutex_);
   std::vector<ConnectionId> dirty_ GUARDED_BY(mutex_);  // need FlushDirty()
   std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;  // connections & listeners
@@ -186,11 +195,22 @@ class MessageClient {
   static Result<std::unique_ptr<MessageClient>> ConnectUnix(
       const std::string& path);
 
+  /// Connect with a deadline (non-blocking connect + poll). Used by the
+  /// reconnecting scheduler link so a wedged daemon cannot park the
+  /// reconnect worker in connect(2) forever.
+  static Result<std::unique_ptr<MessageClient>> ConnectUnix(
+      const std::string& path, std::chrono::milliseconds timeout);
+
   MessageClient(const MessageClient&) = delete;
   MessageClient& operator=(const MessageClient&) = delete;
 
   Status Send(const json::Json& message);
   Result<json::Json> Recv();
+
+  /// Recv with a deadline: polls for readability first and fails with
+  /// kDeadlineExceeded if no frame *starts* arriving within `timeout`.
+  /// Used for handshakes against a possibly-hung peer.
+  Result<json::Json> Recv(std::chrono::milliseconds timeout);
   /// Send then block for exactly one reply.
   Result<json::Json> Call(const json::Json& request);
 

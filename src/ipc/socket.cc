@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -69,6 +71,54 @@ Result<Fd> UnixConnect(const std::string& path) {
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     return UnavailableError("connect(" + path + "): " + std::strerror(errno));
   }
+  return fd;
+}
+
+Result<Fd> UnixConnect(const std::string& path,
+                       std::chrono::milliseconds timeout) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return InvalidArgumentError("UNIX socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket(AF_UNIX)");
+
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    // A UNIX connect against a full backlog reports EAGAIN (not
+    // EINPROGRESS like TCP); both mean "poll for writability".
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return UnavailableError("connect(" + path + "): " +
+                              std::strerror(errno));
+    }
+    pollfd pfd{};
+    pfd.fd = fd.get();
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready < 0) return Errno("poll(connect)");
+    if (ready == 0) {
+      return DeadlineExceededError("connect(" + path + "): timed out");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (soerr != 0) {
+      return UnavailableError("connect(" + path + "): " +
+                              std::strerror(soerr));
+    }
+  }
+
+  if (::fcntl(fd.get(), F_SETFL, flags) != 0) return Errno("fcntl(restore)");
   return fd;
 }
 

@@ -3,6 +3,7 @@
 // benchmark that justifies that choice).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -36,6 +37,15 @@ class UnixListener {
 
 /// Blocking connect to a UNIX socket path.
 Result<Fd> UnixConnect(const std::string& path);
+
+/// Connect with a deadline: non-blocking connect(2) polled up to `timeout`,
+/// then restored to blocking mode. kUnavailable on refusal,
+/// kDeadlineExceeded when the deadline passes first. With UNIX sockets the
+/// kernel usually decides synchronously, but a listener whose backlog is
+/// full parks the caller in EINPROGRESS/EAGAIN — exactly the state a
+/// reconnecting wrapper must not block in forever.
+Result<Fd> UnixConnect(const std::string& path,
+                       std::chrono::milliseconds timeout);
 
 /// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral).
 class TcpListener {

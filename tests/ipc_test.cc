@@ -405,6 +405,139 @@ TEST(MessageServerBackpressureTest, SlowConsumerIsDisconnected) {
   EXPECT_EQ(server.Send(*victim, blob).code(), StatusCode::kNotFound);
 }
 
+TEST(MessageClientTest, ShutdownTwiceIsSafeAndWakesBlockedRecv) {
+  // Shutdown() is documented idempotent and callable from any thread: the
+  // demux reader calls it on teardown while the reconnect worker may call
+  // it again on a send failure. Both orders must leave a client whose
+  // blocked Recv() has woken and whose later calls fail cleanly.
+  TempDir dir;
+  MessageServer server;
+  const std::string path = dir.path() + "/srv.sock";
+  ASSERT_TRUE(server.Start(path, [](ConnectionId, json::Json) {}).ok());
+
+  auto client = MessageClient::ConnectUnix(path);
+  ASSERT_TRUE(client.ok());
+  std::thread reader([&] {
+    auto frame = (*client)->Recv();  // blocks: the server never replies
+    EXPECT_FALSE(frame.ok());
+  });
+  (*client)->Shutdown();
+  reader.join();
+  (*client)->Shutdown();  // second call: no crash, no error
+
+  json::Json message;
+  message["type"] = "late";
+  EXPECT_FALSE((*client)->Send(message).ok());
+  EXPECT_FALSE((*client)->Recv().ok());
+}
+
+TEST(MessageServerRaceTest, RemoveListenerRacesUndeliveredDeferredReply) {
+  // The scheduler holds a suspended alloc's (listener, connection) pair and
+  // answers much later, possibly while ContainerClose is tearing the
+  // listener down. Send() racing RemoveListener() must resolve to delivery
+  // or kNotFound — never a crash, deadlock, or use-after-free (this runs
+  // under the TSan/ASan legs of tools/check.sh).
+  for (int round = 0; round < 50; ++round) {
+    TempDir dir;
+    MessageServer server;
+    ASSERT_TRUE(server.Start().ok());
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<ConnectionId> conn;
+    auto listener = server.AddListener(
+        dir.path() + "/srv.sock",
+        [&](ListenerId, ConnectionId c, json::Json) {
+          std::lock_guard lock(mutex);
+          conn = c;
+          cv.notify_one();
+        });
+    ASSERT_TRUE(listener.ok());
+
+    auto client = MessageClient::ConnectUnix(dir.path() + "/srv.sock");
+    ASSERT_TRUE(client.ok());
+    json::Json request;
+    request["type"] = "alloc";
+    ASSERT_TRUE((*client)->Send(request).ok());
+    {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [&] { return conn.has_value(); });
+    }
+
+    // The deferred grant fires on its own thread, racing the removal.
+    json::Json grant;
+    grant["granted"] = true;
+    std::thread deferred([&] {
+      const Status sent = server.Send(*conn, grant);
+      EXPECT_TRUE(sent.ok() || sent.code() == StatusCode::kNotFound)
+          << sent.ToString();
+    });
+    ASSERT_TRUE(server.RemoveListener(*listener).ok());
+    deferred.join();
+    // The client saw the grant or a clean EOF — nothing else.
+    auto got = (*client)->Recv();
+    if (got.ok()) {
+      EXPECT_EQ(got->GetBool("granted"), true);
+    }
+    server.Stop();
+  }
+}
+
+TEST(MessageServerBackpressureTest, KicksAreCountedPerListener) {
+  // Observability companion to SlowConsumerIsDisconnected: every kicked
+  // connection increments its listener's counter and the server-wide total,
+  // and the counters survive RemoveListener so stats keep attributing past
+  // kicks.
+  TempDir dir;
+  MessageServer::Options options;
+  options.max_queued_bytes_per_connection = 64 * 1024;
+  MessageServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<ConnectionId> victim;
+  auto on_message = [&](ListenerId, ConnectionId conn, json::Json) {
+    std::lock_guard lock(mutex);
+    victim = conn;
+    cv.notify_one();
+  };
+  auto quiet = server.AddListener(dir.path() + "/quiet.sock", on_message);
+  ASSERT_TRUE(quiet.ok());
+  auto busy = server.AddListener(dir.path() + "/busy.sock", on_message);
+  ASSERT_TRUE(busy.ok());
+
+  auto client = MessageClient::ConnectUnix(dir.path() + "/busy.sock");
+  ASSERT_TRUE(client.ok());
+  json::Json hello;
+  hello["type"] = "hello";
+  ASSERT_TRUE((*client)->Send(hello).ok());
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return victim.has_value(); });
+  }
+
+  EXPECT_EQ(server.total_kicked_connections(), 0u);
+  json::Json blob;
+  blob["payload"] = std::string(8 * 1024, 'x');
+  Status status = Status::Ok();
+  for (int i = 0; i < 1000 && status.ok(); ++i) {
+    status = server.Send(*victim, blob);
+  }
+  ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(convgpu::testing::WaitUntil(
+      [&] { return server.total_kicked_connections() == 1; }));
+  EXPECT_EQ(server.kicked_connections(*busy), 1u);   // attributed here
+  EXPECT_EQ(server.kicked_connections(*quiet), 0u);  // not here
+  EXPECT_EQ(server.kicked_connections(9999), 0u);    // unknown listener
+
+  // The attribution outlives the listener itself.
+  ASSERT_TRUE(server.RemoveListener(*busy).ok());
+  EXPECT_EQ(server.kicked_connections(*busy), 1u);
+  EXPECT_EQ(server.total_kicked_connections(), 1u);
+}
+
 TEST(MessageServerRaceTest, AddListenerDuringStopFailsCleanly) {
   // Regression test (run under TSan/ASan via tools/check.sh): AddListener
   // racing Stop() must either succeed before the shutdown or fail with

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <variant>
+
+#include "common/rng.h"
+
 namespace convgpu::protocol {
 namespace {
 
@@ -312,6 +317,237 @@ TEST(ProtocolTest, ExpectPropagatesUpstreamError) {
       Expect<MemInfoReply>(Result<Message>(UnavailableError("socket gone")));
   ASSERT_FALSE(narrowed.ok());
   EXPECT_EQ(narrowed.status().code(), StatusCode::kUnavailable);
+}
+
+// --- Property tests ---------------------------------------------------------
+
+constexpr std::size_t kVariantCount = std::variant_size_v<Message>;
+
+std::string RandomToken(Rng& rng) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789_-";
+  std::string token;
+  const std::size_t length = rng.UniformBelow(24);
+  token.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    token += kAlphabet[rng.UniformBelow(sizeof(kAlphabet) - 1)];
+  }
+  return token;
+}
+
+// Addresses and sizes across the full range the ledger can see; stays inside
+// [0, 2^62) so signed Bytes arithmetic and the JSON int64 wire type both hold.
+std::uint64_t RandomU62(Rng& rng) { return rng() >> 2; }
+Bytes RandomBytes(Rng& rng) { return static_cast<Bytes>(RandomU62(rng)); }
+Pid RandomPid(Rng& rng) { return static_cast<Pid>(rng.UniformBelow(1u << 22)); }
+
+// Dyadic rationals (k * 0.25) are exactly representable, so equality after
+// a decimal round trip is a fair assertion for any serializer that prints
+// shortest-round-trip doubles.
+double RandomSeconds(Rng& rng) {
+  return 0.25 * static_cast<double>(rng.UniformBelow(4'000'000));
+}
+
+Message RandomMessage(Rng& rng, std::size_t variant) {
+  switch (variant % kVariantCount) {
+    case 0: {
+      RegisterContainer m;
+      m.container_id = RandomToken(rng);
+      if (rng.UniformBelow(2) == 0) m.memory_limit = RandomBytes(rng);
+      return m;
+    }
+    case 1: {
+      RegisterReply m;
+      m.ok = rng.UniformBelow(2) == 0;
+      m.error = RandomToken(rng);
+      m.socket_dir = RandomToken(rng);
+      m.socket_path = RandomToken(rng);
+      return m;
+    }
+    case 2: {
+      AllocRequest m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      m.size = RandomBytes(rng);
+      m.api = RandomToken(rng);
+      return m;
+    }
+    case 3: {
+      AllocReply m;
+      m.granted = rng.UniformBelow(2) == 0;
+      m.error = RandomToken(rng);
+      return m;
+    }
+    case 4: {
+      AllocCommit m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      m.address = RandomU62(rng);
+      m.size = RandomBytes(rng);
+      return m;
+    }
+    case 5: {
+      AllocAbort m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      m.size = RandomBytes(rng);
+      return m;
+    }
+    case 6: {
+      FreeNotify m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      m.address = RandomU62(rng);
+      return m;
+    }
+    case 7: {
+      MemGetInfoRequest m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      return m;
+    }
+    case 8: {
+      MemInfoReply m;
+      m.free = RandomBytes(rng);
+      m.total = RandomBytes(rng);
+      return m;
+    }
+    case 9: {
+      ProcessExit m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      return m;
+    }
+    case 10: {
+      ContainerClose m;
+      m.container_id = RandomToken(rng);
+      return m;
+    }
+    case 11:
+      return Ping{};
+    case 12:
+      return Pong{};
+    case 13:
+      return StatsRequest{};
+    case 14: {
+      StatsReply m;
+      m.capacity = RandomBytes(rng);
+      m.free_pool = RandomBytes(rng);
+      m.policy = RandomToken(rng);
+      m.kicked_connections = rng.UniformBelow(1u << 20);
+      const std::size_t count = rng.UniformBelow(4);
+      for (std::size_t i = 0; i < count; ++i) {
+        ContainerStatsWire c;
+        c.container_id = RandomToken(rng);
+        c.limit = RandomBytes(rng);
+        c.assigned = RandomBytes(rng);
+        c.used = RandomBytes(rng);
+        c.suspended = rng.UniformBelow(2) == 0;
+        c.total_suspended_sec = RandomSeconds(rng);
+        c.suspend_episodes = rng.UniformBelow(1u << 20);
+        c.kicked_connections = rng.UniformBelow(1u << 20);
+        m.containers.push_back(c);
+      }
+      return m;
+    }
+    case 15: {
+      Hello m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      return m;
+    }
+    case 16: {
+      HelloReply m;
+      m.ok = rng.UniformBelow(2) == 0;
+      m.error = RandomToken(rng);
+      m.epoch = RandomU62(rng);
+      m.limit = RandomBytes(rng);
+      return m;
+    }
+    case 17: {
+      Reattach m;
+      m.container_id = RandomToken(rng);
+      m.pid = RandomPid(rng);
+      m.epoch = RandomU62(rng);
+      m.limit = RandomBytes(rng);
+      const std::size_t count = rng.UniformBelow(5);
+      for (std::size_t i = 0; i < count; ++i) {
+        LiveAlloc alloc;
+        alloc.address = RandomU62(rng);
+        alloc.size = RandomBytes(rng);
+        m.allocations.push_back(alloc);
+      }
+      return m;
+    }
+    default: {
+      ReattachReply m;
+      m.ok = rng.UniformBelow(2) == 0;
+      m.error = RandomToken(rng);
+      m.epoch = RandomU62(rng);
+      return m;
+    }
+  }
+}
+
+TEST(ProtocolPropertyTest, RandomizedRoundTripsAreExact) {
+  Rng rng(0xC0FFEE);
+  constexpr int kIterations = 1500;  // ~79 per variant
+  for (int i = 0; i < kIterations; ++i) {
+    const Message message =
+        RandomMessage(rng, static_cast<std::size_t>(i) % kVariantCount);
+    std::optional<ReqId> req_id;
+    if (rng.UniformBelow(2) == 0) {
+      req_id = 1 + static_cast<ReqId>(rng.UniformBelow(kMaxWireReqId));
+    }
+    const std::string bytes = Serialize(message, req_id).Dump();
+    auto reparsed = json::Json::Parse(bytes);
+    ASSERT_TRUE(reparsed.ok()) << bytes;
+    EXPECT_EQ(PeekReqId(*reparsed), req_id) << bytes;
+    auto decoded = Parse(*reparsed);
+    ASSERT_TRUE(decoded.ok())
+        << TypeName(message) << ": " << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == message)
+        << "iteration " << i << " mangled a " << TypeName(message) << ": "
+        << bytes;
+  }
+}
+
+// Feeds a mangled frame through the full receive path. Json::Parse may
+// reject it outright (fine); a frame that still parses as JSON must be
+// either dispatched or rejected as kInvalidArgument — never anything that
+// crashes, throws, or reports a misleading status code.
+void DispatchCorrupted(const std::string& bytes) {
+  auto parsed = json::Json::Parse(bytes);
+  if (!parsed.ok()) return;
+  std::optional<ReqId> req_id;
+  const Status status =
+      Dispatch(*parsed, req_id, Visitor{[](const auto&) {}});
+  EXPECT_TRUE(status.ok() || status.code() == StatusCode::kInvalidArgument)
+      << status.ToString() << " for: " << bytes;
+}
+
+TEST(ProtocolPropertyTest, CorruptedFramesNeverCrashDispatch) {
+  Rng rng(0xBAD5EED);
+  constexpr int kFrames = 300;
+  for (int i = 0; i < kFrames; ++i) {
+    const Message message =
+        RandomMessage(rng, static_cast<std::size_t>(i) % kVariantCount);
+    const std::string bytes =
+        Serialize(message, static_cast<ReqId>(i + 1)).Dump();
+    // Truncations: a peer that died mid-write.
+    for (const std::size_t cut :
+         {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+      DispatchCorrupted(bytes.substr(0, cut));
+    }
+    // Bit flips: a corrupted or adversarial frame.
+    for (int flip = 0; flip < 8; ++flip) {
+      std::string mutated = bytes;
+      const std::size_t pos = rng.UniformBelow(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          (1u << rng.UniformBelow(8)));
+      DispatchCorrupted(mutated);
+    }
+  }
 }
 
 }  // namespace

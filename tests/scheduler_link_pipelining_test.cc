@@ -130,6 +130,59 @@ TEST(ReplyRouterTest, FailAllCompletesEveryPendingCall) {
   EXPECT_EQ(router.pending_count(), 0u);
 }
 
+TEST(ReplyRouterTest, IdsWrapPastWireMaxBackToOne) {
+  // Ids ride in a signed JSON integer, so the space is [1, kMaxWireReqId];
+  // the issuer past the end wraps to 1, and calls on both sides of the wrap
+  // stay routable.
+  ReplyRouter router;
+  router.SetNextIdForTesting(protocol::kMaxWireReqId);
+  auto last = router.Issue();
+  EXPECT_EQ(last.id, protocol::kMaxWireReqId);
+  auto wrapped = router.Issue();
+  EXPECT_EQ(wrapped.id, 1u);
+
+  ASSERT_TRUE(router
+                  .Route(last.id, Result<protocol::Message>(
+                                      protocol::Message(protocol::Pong{})))
+                  .ok());
+  protocol::MemInfoReply info;
+  info.total = 2_GiB;
+  ASSERT_TRUE(
+      router.Route(wrapped.id, Result<protocol::Message>(protocol::Message(info)))
+          .ok());
+  auto last_reply = last.reply.get();
+  ASSERT_TRUE(last_reply.ok());
+  EXPECT_TRUE(std::holds_alternative<protocol::Pong>(*last_reply));
+  auto wrapped_reply = wrapped.reply.get();
+  ASSERT_TRUE(wrapped_reply.ok());
+  EXPECT_EQ(std::get<protocol::MemInfoReply>(*wrapped_reply).total, 2_GiB);
+}
+
+TEST(ReplyRouterTest, WrapSkipsIdsStillPendingFromThePreviousLap) {
+  // A call can stay outstanding for a whole lap of the id space (a suspended
+  // alloc on a busy link). The wrap must not reissue its id to a new call —
+  // the daemon's eventual reply would route to the wrong caller.
+  ReplyRouter router;
+  auto one = router.Issue();  // id 1, pending across the wrap
+  auto two = router.Issue();  // id 2, pending across the wrap
+  router.SetNextIdForTesting(protocol::kMaxWireReqId);
+  EXPECT_EQ(router.Issue().id, protocol::kMaxWireReqId);
+  EXPECT_EQ(router.Issue().id, 3u);  // skipped 1 and 2, both still owned
+  EXPECT_EQ(router.pending_count(), 4u);
+
+  // The long-lived calls are untouched and still route.
+  protocol::MemInfoReply info;
+  info.total = 1_GiB;
+  ASSERT_TRUE(
+      router.Route(one.id, Result<protocol::Message>(protocol::Message(info)))
+          .ok());
+  auto reply = one.reply.get();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(std::get<protocol::MemInfoReply>(*reply).total, 1_GiB);
+  EXPECT_EQ(two.reply.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+}
+
 // --- Demultiplexing against a reply-reordering server -----------------------
 
 /// Adversarial scheduler stand-in: buffers every request-bearing frame
@@ -387,10 +440,8 @@ TEST_F(PipelinedLinkFixture, SuspendedAllocDoesNotBlockSiblingCallsOrFrees) {
   parked.api = "cudaMalloc";
   auto parked_future = (*link)->AsyncCall(protocol::Message(parked));
 
-  for (int i = 0; i < 5000 && server_->core().pending_request_count() == 0;
-       ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  ASSERT_TRUE(convgpu::testing::WaitUntil(
+      [&] { return server_->core().pending_request_count() != 0; }));
   ASSERT_EQ(server_->core().pending_request_count(), 1u);
 
   // Sibling call on the SAME link while the alloc is parked. Under the old
@@ -446,12 +497,10 @@ TEST_F(PipelinedLinkFixture, ManyOutstandingAllocsResolveIndependently) {
     request.api = "cudaMalloc";
     futures.push_back((*link)->AsyncCall(protocol::Message(request)));
   }
-  for (int i = 0;
-       i < 5000 &&
-       server_->core().pending_request_count() < static_cast<std::size_t>(kParked);
-       ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  ASSERT_TRUE(convgpu::testing::WaitUntil([&] {
+    return server_->core().pending_request_count() >=
+           static_cast<std::size_t>(kParked);
+  }));
   ASSERT_EQ(server_->core().pending_request_count(),
             static_cast<std::size_t>(kParked));
   EXPECT_EQ((*link)->outstanding_calls(), static_cast<std::size_t>(kParked));

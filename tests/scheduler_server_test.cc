@@ -8,6 +8,8 @@
 
 #include "convgpu/nvdocker.h"
 #include "convgpu/scheduler_link.h"
+#include "ipc/framing.h"
+#include "ipc/socket.h"
 #include "tests/test_util.h"
 
 namespace convgpu {
@@ -218,6 +220,62 @@ TEST_F(SchedulerServerTest, StatsQueryOverSocket) {
   ASSERT_EQ(stats.containers.size(), 1u);
   EXPECT_EQ(stats.containers[0].container_id, "c1");
   EXPECT_EQ(stats.containers[0].limit, 512_MiB);
+}
+
+TEST(SchedulerServerBackpressureTest, StatsSurfaceKickedConnections) {
+  // A wrapper that stops reading its per-container socket gets kicked by the
+  // reactor's write-queue cap, and the operator can see it happened: the
+  // kick shows up in stats_reply, attributed to the container.
+  TempDir dir;
+  SchedulerServerOptions options;
+  options.base_dir = dir.path();
+  options.scheduler.capacity = 5_GiB;
+  options.reactor.max_queued_bytes_per_connection = 16 * 1024;
+  SchedulerServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto main = ipc::MessageClient::ConnectUnix(server.main_socket_path());
+    ASSERT_TRUE(main.ok());
+    protocol::RegisterContainer request;
+    request.container_id = "c1";
+    request.memory_limit = 512_MiB;
+    auto reply = protocol::Expect<protocol::RegisterReply>(
+        protocol::Call(**main, protocol::Message(request)));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply->ok) << reply->error;
+  }
+
+  // The slow reader: pour mem_get_info requests down the raw fd and never
+  // consume a reply. Kernel socket buffers absorb a few hundred KiB of
+  // replies; the 16 KiB reactor cap bounds the rest and kicks us — at which
+  // point our writes start failing (EPIPE, not SIGPIPE).
+  auto fd = ipc::UnixConnect(server.container_socket_path("c1"));
+  ASSERT_TRUE(fd.ok());
+  protocol::MemGetInfoRequest info;
+  info.container_id = "c1";
+  info.pid = 1;
+  const std::string request_bytes =
+      protocol::Serialize(protocol::Message(info)).Dump();
+  Status write = Status::Ok();
+  for (int i = 0; i < 20000 && write.ok(); ++i) {
+    write = ipc::WriteFrame(fd->get(), request_bytes);
+  }
+
+  auto stats_client = ipc::MessageClient::ConnectUnix(server.main_socket_path());
+  ASSERT_TRUE(stats_client.ok());
+  protocol::StatsReply stats;
+  ASSERT_TRUE(convgpu::testing::WaitUntil([&] {
+    auto reply = protocol::Expect<protocol::StatsReply>(protocol::Call(
+        **stats_client, protocol::Message(protocol::StatsRequest{})));
+    if (!reply.ok()) return false;
+    stats = *reply;
+    return stats.kicked_connections >= 1;
+  })) << "no kick ever surfaced in stats";
+  ASSERT_EQ(stats.containers.size(), 1u);
+  EXPECT_EQ(stats.containers[0].container_id, "c1");
+  EXPECT_GE(stats.containers[0].kicked_connections, 1u);
+  EXPECT_GE(stats.kicked_connections, stats.containers[0].kicked_connections);
 }
 
 TEST_F(SchedulerServerTest, NvDockerRegistersOverSocket) {

@@ -195,13 +195,10 @@ TEST(SchedulerServerHammerTest, SocketChurnWithMidAllocationDisconnects) {
   for (auto& thread : threads) thread.join();
 
   // Closes and disconnect cleanups flow through the reactor asynchronously.
-  for (int i = 0; i < 1000; ++i) {
-    if (server.core().pending_request_count() == 0 &&
-        server.core().free_pool() == 1_GiB) {
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
+  convgpu::testing::WaitUntil([&] {
+    return server.core().pending_request_count() == 0 &&
+           server.core().free_pool() == 1_GiB;
+  });
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(server.core().pending_request_count(), 0u);
   EXPECT_EQ(server.core().free_pool(), 1_GiB);
@@ -315,13 +312,10 @@ TEST(SchedulerServerHammerTest, PipelinedLinksAcross64Containers) {
       ++errors;
     }
   }
-  for (int i = 0; i < 1000; ++i) {
-    if (server.core().pending_request_count() == 0 &&
-        server.core().free_pool() == 5_GiB) {
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
+  convgpu::testing::WaitUntil([&] {
+    return server.core().pending_request_count() == 0 &&
+           server.core().free_pool() == 5_GiB;
+  });
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(server.core().pending_request_count(), 0u);
   EXPECT_EQ(server.core().free_pool(), 5_GiB);

@@ -1,13 +1,32 @@
 // Shared test helpers.
 #pragma once
 
+#include <chrono>
 #include <filesystem>
+#include <functional>
 #include <random>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
 namespace convgpu::testing {
+
+/// Polls `predicate` until it returns true or `timeout` elapses; returns
+/// whether it became true. The deflaked replacement for fixed-length sleeps:
+/// fast machines pass immediately, slow (sanitizer) machines get the full
+/// window.
+inline bool WaitUntil(
+    const std::function<bool()>& predicate,
+    std::chrono::milliseconds timeout = std::chrono::seconds(10),
+    std::chrono::milliseconds poll = std::chrono::milliseconds(1)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(poll);
+  }
+  return true;
+}
 
 /// Unique temporary directory, removed on destruction.
 class TempDir {

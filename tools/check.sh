@@ -12,6 +12,10 @@
 #                  reordered replies, daemon-death fault paths, the 64x4
 #                  hammer) under BOTH TSan and ASan; the fast loop for work
 #                  on scheduler_link/protocol/ipc. Subset of legs 4+5.
+#   8. reconnect — the daemon-restart suites (fault harness, reattach and
+#                  replay paths, RestoreProcess reconciliation) under BOTH
+#                  TSan and ASan; the fast loop for work on the reconnect
+#                  state machine. Subset of legs 4+5.
 #
 # Clang legs are advisory on machines without clang; set CONVGPU_REQUIRE_CLANG=1
 # to turn those skips into failures (CI with clang installed should do this).
@@ -142,6 +146,35 @@ pipelining_asan_impl() {
             -R "${PIPELINING_FILTER}"
 }
 
+# Also matches SchedulerLinkPipeliningTest.ReconnectGetsAFreshIdSpace, which
+# belongs in the reconnect fast loop anyway.
+RECONNECT_FILTER='Reconnect|RestoreProcess'
+
+leg_reconnect() {
+  note "leg: daemon-restart suites under TSan + ASan"
+  run_leg reconnect-tsan reconnect_tsan_impl
+  run_leg reconnect-asan reconnect_asan_impl
+}
+
+reconnect_tsan_impl() {
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONVGPU_SANITIZE=thread &&
+    cmake --build "${ROOT}/build-tsan" -j "${JOBS}" &&
+    TSAN_OPTIONS="suppressions=${ROOT}/tools/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+            -R "${RECONNECT_FILTER}"
+}
+
+reconnect_asan_impl() {
+  cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCONVGPU_SANITIZE=address,undefined &&
+    cmake --build "${ROOT}/build-asan" -j "${JOBS}" &&
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+      ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}" \
+            -R "${RECONNECT_FILTER}"
+}
+
 leg_format() {
   note "leg: clang-format (dry run, tracked sources)"
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -169,6 +202,7 @@ for leg in "${LEGS[@]}"; do
     tsan) leg_tsan ;;
     asan) leg_asan ;;
     pipelining) leg_pipelining ;;
+    reconnect) leg_reconnect ;;
     format) leg_format ;;
     *) echo "unknown leg: ${leg}"; FAIL+=("${leg}") ;;
   esac
