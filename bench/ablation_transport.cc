@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "convgpu/codec.h"
 #include "ipc/framing.h"
 #include "ipc/socket.h"
 
@@ -270,7 +272,7 @@ SweepSample SweepShared(const std::string& dir, int channels, int requests) {
   std::vector<std::string> paths;
   for (int c = 0; c < channels; ++c) {
     paths.push_back(dir + "/shared-" + std::to_string(c) + ".sock");
-    auto id = server.AddListener(
+    auto id = server.AddJsonListener(
         paths.back(),
         [&server](ipc::ListenerId, ipc::ConnectionId conn, json::Json msg) {
           (void)server.Send(conn, msg);
@@ -294,10 +296,10 @@ SweepSample SweepPerSocket(const std::string& dir, int channels,
     auto server = std::make_unique<ipc::MessageServer>();
     auto* raw = server.get();
     if (!server
-             ->Start(paths.back(),
-                     [raw](ipc::ConnectionId conn, json::Json msg) {
-                       (void)raw->Send(conn, msg);
-                     })
+             ->StartJson(paths.back(),
+                         [raw](ipc::ConnectionId conn, json::Json msg) {
+                           (void)raw->Send(conn, msg);
+                         })
              .ok()) {
       std::abort();
     }
@@ -345,6 +347,136 @@ void RunChannelSweep() {
   std::printf("wrote BENCH_transport.json\n");
 }
 
+// --- Wire-encoding sweep: JSON vs binary payloads ---------------------------
+//
+// Same shared reactor, same sockets — only the payload encoding changes.
+// A scheduler-shaped echo decodes each alloc_request (sniffing the
+// encoding, as the real daemon does) and answers an AllocReply in the
+// request's own encoding; clients keep a 16-deep pipeline per connection so
+// the measurement is throughput-bound on encode/decode cost, not on
+// ping-pong latency. Results land in BENCH_wire.json.
+
+struct WireSample {
+  std::string encoding;
+  int channels = 0;
+  std::size_t messages = 0;
+  std::size_t request_bytes = 0;  // payload size of one encoded request
+  double seconds = 0.0;
+  double msgs_per_sec = 0.0;
+};
+
+/// Throughput of `channels` pipelined clients speaking `codec` against a
+/// decode-and-answer echo server.
+WireSample MeasureWire(const std::string& dir, const protocol::Codec& codec,
+                       int channels, int requests_per_client) {
+  ipc::MessageServer server;
+  if (!server.Start().ok()) std::abort();
+  std::vector<std::string> paths;
+  for (int c = 0; c < channels; ++c) {
+    paths.push_back(dir + "/wire-" + std::string(codec.name()) + "-" +
+                    std::to_string(c) + ".sock");
+    auto id = server.AddListener(
+        paths.back(), [&server](ipc::ListenerId, ipc::ConnectionId conn,
+                                std::string payload) {
+          // The daemon's shape: sniff the encoding, decode, answer in kind.
+          const auto req_id = protocol::PeekPayloadReqId(payload);
+          auto decoded = protocol::DecodePayload(payload);
+          if (!decoded.ok()) return;
+          protocol::AllocReply reply;
+          reply.granted = true;
+          thread_local std::string scratch;
+          protocol::DetectCodec(payload).Encode(protocol::Message(reply),
+                                                req_id, scratch);
+          (void)server.SendBytes(conn, scratch);
+        });
+    if (!id.ok()) std::abort();
+  }
+
+  WireSample sample;
+  sample.encoding = std::string(codec.name());
+  sample.channels = channels;
+  sample.request_bytes =
+      protocol::EncodePayload(codec, AllocMessage(), /*req_id=*/1).size();
+
+  constexpr int kWindow = 16;
+  std::vector<std::thread> clients;
+  clients.reserve(paths.size());
+  std::atomic<std::size_t> completed{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < paths.size(); ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ipc::MessageClient::ConnectUnix(paths[c]);
+      if (!client.ok()) return;
+      std::string scratch;
+      protocol::ReqId next_id = 1;
+      int sent = 0;
+      int received = 0;
+      const protocol::Message request = AllocMessage();
+      while (received < requests_per_client) {
+        while (sent < requests_per_client && sent - received < kWindow) {
+          codec.Encode(request, next_id++, scratch);
+          if (!(*client)->SendFrame(scratch).ok()) return;
+          ++sent;
+        }
+        auto raw = (*client)->RecvFrame();
+        if (!raw.ok() || !protocol::DecodePayload(*raw).ok()) return;
+        ++received;
+        ++completed;
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  const auto stop = std::chrono::steady_clock::now();
+  server.Stop();
+
+  sample.messages = completed.load();
+  sample.seconds = std::chrono::duration<double>(stop - start).count();
+  sample.msgs_per_sec =
+      sample.seconds > 0.0
+          ? static_cast<double>(sample.messages) / sample.seconds
+          : 0.0;
+  return sample;
+}
+
+void RunWireSweep() {
+  const std::string dir = MakeBenchDir("abl-wire");
+  constexpr int kRequestsPerClient = 2000;
+  std::vector<WireSample> samples;
+  for (const int channels : {1, 8, 64}) {
+    samples.push_back(MeasureWire(dir, protocol::json_codec(), channels,
+                                  kRequestsPerClient));
+    samples.push_back(MeasureWire(dir, protocol::binary_codec(), channels,
+                                  kRequestsPerClient));
+  }
+
+  json::Json report;
+  report["benchmark"] = "ablation_transport_wire_sweep";
+  report["requests_per_client"] = kRequestsPerClient;
+  report["pipeline_window"] = 16;
+  json::Array rows;
+  std::printf("\nwire-encoding sweep (pipelined alloc_request echo):\n");
+  std::printf("%-10s %9s %9s %12s %10s %14s\n", "encoding", "channels",
+              "messages", "req_bytes", "seconds", "msgs_per_sec");
+  for (const auto& sample : samples) {
+    json::Json row;
+    row["encoding"] = sample.encoding;
+    row["channels"] = sample.channels;
+    row["messages"] = static_cast<std::int64_t>(sample.messages);
+    row["request_bytes"] = static_cast<std::int64_t>(sample.request_bytes);
+    row["seconds"] = sample.seconds;
+    row["msgs_per_sec"] = sample.msgs_per_sec;
+    rows.push_back(std::move(row));
+    std::printf("%-10s %9d %9zu %12zu %10.3f %14.0f\n",
+                sample.encoding.c_str(), sample.channels, sample.messages,
+                sample.request_bytes, sample.seconds, sample.msgs_per_sec);
+  }
+  report["wire_sweep"] = std::move(rows);
+
+  std::ofstream out("BENCH_wire.json");
+  out << report.Dump(2) << "\n";
+  std::printf("wrote BENCH_wire.json\n");
+}
+
 }  // namespace
 }  // namespace convgpu::bench
 
@@ -354,5 +486,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   convgpu::bench::RunChannelSweep();
+  convgpu::bench::RunWireSweep();
   return 0;
 }

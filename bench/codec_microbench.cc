@@ -1,0 +1,217 @@
+// Microbenchmark: encode/decode cost of the two wire codecs (codec.h).
+//
+// Measures the per-message CPU the scheduler and wrapper spend turning
+// protocol::Message values into payload bytes and back — the cost the
+// negotiated binary encoding exists to cut. Also enforces the hot-path
+// allocation contract: after warm-up, encoding into a reused scratch
+// buffer performs ZERO heap allocations with either codec (the process
+// exits nonzero if that ever regresses).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "convgpu/codec.h"
+#include "convgpu/protocol.h"
+
+// --- Global allocation counter ----------------------------------------------
+// Counts every operator new in the process. Benchmarks ignore it; the
+// steady-state check below zeroes it around a burst of encodes.
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs the replaced operator new (malloc inside) with the replaced
+// operator delete (free inside) and flags the malloc/free it can see
+// through inlining as mismatched — a false positive for a whole-program
+// allocator replacement.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace convgpu::bench {
+namespace {
+
+using protocol::Codec;
+using protocol::Message;
+using protocol::ReqId;
+
+/// The wrapper's hot path: one admission round trip's worth of messages.
+std::vector<Message> HotPathMessages() {
+  std::vector<Message> messages;
+  protocol::AllocRequest request;
+  request.container_id = "bench-container";
+  request.pid = 4242;
+  request.size = 16 * 1024 * 1024;
+  request.api = "cudaMalloc";
+  messages.emplace_back(request);
+  protocol::AllocReply reply;
+  reply.granted = true;
+  messages.emplace_back(reply);
+  protocol::AllocCommit commit;
+  commit.container_id = "bench-container";
+  commit.pid = 4242;
+  commit.address = 0x7F0000000000ull;
+  commit.size = 16 * 1024 * 1024;
+  messages.emplace_back(commit);
+  protocol::FreeNotify free_notify;
+  free_notify.container_id = "bench-container";
+  free_notify.pid = 4242;
+  free_notify.address = 0x7F0000000000ull;
+  messages.emplace_back(free_notify);
+  protocol::MemGetInfoRequest info;
+  info.container_id = "bench-container";
+  info.pid = 4242;
+  messages.emplace_back(info);
+  protocol::MemInfoReply info_reply;
+  info_reply.free = 3ll * 1024 * 1024 * 1024;
+  info_reply.total = 4ll * 1024 * 1024 * 1024;
+  messages.emplace_back(info_reply);
+  return messages;
+}
+
+void BM_Encode(benchmark::State& state, const Codec& codec) {
+  const std::vector<Message> messages = HotPathMessages();
+  std::string scratch;
+  ReqId req_id = 1;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    for (const Message& message : messages) {
+      codec.Encode(message, req_id++, scratch);
+      benchmark::DoNotOptimize(scratch.data());
+      bytes += scratch.size();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(messages.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+void BM_Decode(benchmark::State& state, const Codec& codec) {
+  std::vector<std::string> payloads;
+  ReqId req_id = 1;
+  for (const Message& message : HotPathMessages()) {
+    payloads.push_back(protocol::EncodePayload(codec, message, req_id++));
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    for (const std::string& payload : payloads) {
+      auto decoded = protocol::DecodePayload(payload);
+      if (!decoded.ok()) {
+        state.SkipWithError("decode failed");
+        return;
+      }
+      benchmark::DoNotOptimize(*decoded);
+      bytes += payload.size();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payloads.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+void BM_PeekReqId(benchmark::State& state, const Codec& codec) {
+  protocol::AllocReply reply;
+  reply.granted = true;
+  const std::string payload =
+      protocol::EncodePayload(codec, Message(reply), /*req_id=*/123456789);
+  for (auto _ : state) {
+    auto id = protocol::PeekPayloadReqId(payload);
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Encode_json(benchmark::State& state) {
+  BM_Encode(state, protocol::json_codec());
+}
+void BM_Encode_binary(benchmark::State& state) {
+  BM_Encode(state, protocol::binary_codec());
+}
+void BM_Decode_json(benchmark::State& state) {
+  BM_Decode(state, protocol::json_codec());
+}
+void BM_Decode_binary(benchmark::State& state) {
+  BM_Decode(state, protocol::binary_codec());
+}
+void BM_PeekReqId_json(benchmark::State& state) {
+  BM_PeekReqId(state, protocol::json_codec());
+}
+void BM_PeekReqId_binary(benchmark::State& state) {
+  BM_PeekReqId(state, protocol::binary_codec());
+}
+
+BENCHMARK(BM_Encode_json);
+BENCHMARK(BM_Encode_binary);
+BENCHMARK(BM_Decode_json);
+BENCHMARK(BM_Decode_binary);
+BENCHMARK(BM_PeekReqId_json);
+BENCHMARK(BM_PeekReqId_binary);
+
+/// The allocation contract: once the scratch buffer has grown to the
+/// working-set frame size, Encode never touches the heap — for either
+/// codec, across every hot-path message. Returns false (and says why) on
+/// any regression.
+bool VerifyZeroAllocationEncode() {
+  bool ok = true;
+  const std::vector<Message> messages = HotPathMessages();
+  for (const Codec* codec :
+       {&protocol::json_codec(), &protocol::binary_codec()}) {
+    std::string scratch;
+    ReqId req_id = 1;
+    // Warm-up: let the scratch buffer reach its steady-state capacity.
+    for (int round = 0; round < 4; ++round) {
+      for (const Message& message : messages) {
+        codec->Encode(message, req_id++, scratch);
+      }
+    }
+    const std::size_t before = g_allocations.load();
+    for (int round = 0; round < 1000; ++round) {
+      for (const Message& message : messages) {
+        codec->Encode(message, req_id++, scratch);
+      }
+    }
+    const std::size_t allocations = g_allocations.load() - before;
+    std::printf("steady-state encode allocations (%s): %zu\n",
+                std::string(codec->name()).c_str(), allocations);
+    if (allocations != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s Encode allocated %zu times in steady state "
+                   "(contract: zero)\n",
+                   std::string(codec->name()).c_str(), allocations);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace convgpu::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return convgpu::bench::VerifyZeroAllocationEncode() ? 0 : 1;
+}

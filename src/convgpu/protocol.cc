@@ -1,5 +1,6 @@
 #include "convgpu/protocol.h"
 
+#include "convgpu/codec.h"
 #include "ipc/message_server.h"
 
 namespace convgpu::protocol {
@@ -135,6 +136,9 @@ json::Json Serialize(const Message& message) {
           Json j = Obj("hello");
           j["container_id"] = m.container_id;
           j["pid"] = m.pid;
+          // Emitted only when advertised so old peers never see the key
+          // (and absence parses back to false — lossless round trip).
+          if (m.binary) j["binary"] = true;
           return j;
         } else if constexpr (std::is_same_v<T, HelloReply>) {
           Json j = Obj("hello_reply");
@@ -142,6 +146,7 @@ json::Json Serialize(const Message& message) {
           if (!m.error.empty()) j["error"] = m.error;
           j["epoch"] = static_cast<std::int64_t>(m.epoch);
           j["limit"] = m.limit;
+          if (m.binary) j["binary"] = true;
           return j;
         } else if constexpr (std::is_same_v<T, Reattach>) {
           Json j = Obj("reattach");
@@ -157,6 +162,7 @@ json::Json Serialize(const Message& message) {
             allocations.push_back(std::move(entry));
           }
           j["allocations"] = std::move(allocations);
+          if (m.binary) j["binary"] = true;
           return j;
         } else {
           static_assert(std::is_same_v<T, ReattachReply>);
@@ -164,6 +170,7 @@ json::Json Serialize(const Message& message) {
           j["ok"] = m.ok;
           if (!m.error.empty()) j["error"] = m.error;
           j["epoch"] = static_cast<std::int64_t>(m.epoch);
+          if (m.binary) j["binary"] = true;
           return j;
         }
       },
@@ -361,6 +368,7 @@ Result<Message> Parse(const json::Json& j) {
     if (!pid.ok()) return pid.status();
     m.container_id = *id;
     m.pid = *pid;
+    m.binary = j.GetBool("binary").value_or(false);
     return Message(m);
   }
   if (*type == "hello_reply") {
@@ -369,6 +377,7 @@ Result<Message> Parse(const json::Json& j) {
     m.error = j.GetString("error").value_or("");
     m.epoch = static_cast<std::uint64_t>(j.GetInt("epoch").value_or(0));
     m.limit = j.GetInt("limit").value_or(0);
+    m.binary = j.GetBool("binary").value_or(false);
     return Message(m);
   }
   if (*type == "reattach") {
@@ -396,6 +405,7 @@ Result<Message> Parse(const json::Json& j) {
         m.allocations.push_back(a);
       }
     }
+    m.binary = j.GetBool("binary").value_or(false);
     return Message(m);
   }
   if (*type == "reattach_reply") {
@@ -403,6 +413,7 @@ Result<Message> Parse(const json::Json& j) {
     m.ok = j.GetBool("ok").value_or(false);
     m.error = j.GetString("error").value_or("");
     m.epoch = static_cast<std::uint64_t>(j.GetInt("epoch").value_or(0));
+    m.binary = j.GetBool("binary").value_or(false);
     return Message(m);
   }
   return InvalidArgumentError("unknown message type: " + *type);
@@ -410,21 +421,26 @@ Result<Message> Parse(const json::Json& j) {
 
 Result<Message> Call(ipc::MessageClient& client, const Message& request,
                      std::optional<ReqId> req_id) {
-  auto reply = client.Call(Serialize(request, req_id));
+  // Requests go out as JSON (a raw client never negotiates binary), but the
+  // reply is decoded by whatever encoding it arrives in, so a Call issued
+  // on a binary-negotiated connection still correlates correctly.
+  CONVGPU_RETURN_IF_ERROR(
+      client.SendFrame(EncodePayload(json_codec(), request, req_id)));
+  auto reply = client.RecvFrame();
   if (!reply.ok()) return reply.status();
   // An id-less reply is a legitimate old peer; a *wrong* id means the
   // stream answered some other request.
-  if (const auto echoed = PeekReqId(*reply);
+  if (const auto echoed = PeekPayloadReqId(*reply);
       echoed && req_id && *echoed != *req_id) {
     return FailedPreconditionError(
         "reply correlation mismatch: sent req_id " + std::to_string(*req_id) +
         ", got " + std::to_string(*echoed));
   }
-  return Parse(*reply);
+  return DecodePayload(*reply);
 }
 
 Status Notify(ipc::MessageClient& client, const Message& message) {
-  return client.Send(Serialize(message));
+  return client.SendFrame(EncodePayload(json_codec(), message));
 }
 
 }  // namespace convgpu::protocol

@@ -147,6 +147,7 @@ struct LiveAlloc {
 struct Hello {
   std::string container_id;
   Pid pid = 0;
+  bool binary = false;  // sender can speak the binary encoding (codec.h)
   bool operator==(const Hello&) const = default;
 };
 
@@ -155,6 +156,7 @@ struct HelloReply {
   std::string error;
   std::uint64_t epoch = 0;  // daemon session epoch; changes on restart
   Bytes limit = 0;          // the container's declared memory limit
+  bool binary = false;      // daemon accepted binary for this connection
   bool operator==(const HelloReply&) const = default;
 };
 
@@ -168,6 +170,7 @@ struct Reattach {
   std::uint64_t epoch = 0;  // the epoch learned from Hello/ReattachReply
   Bytes limit = 0;          // declared limit learned from HelloReply
   std::vector<LiveAlloc> allocations;
+  bool binary = false;  // re-negotiated per connection; see codec.h
   bool operator==(const Reattach&) const = default;
 };
 
@@ -175,6 +178,7 @@ struct ReattachReply {
   bool ok = false;
   std::string error;
   std::uint64_t epoch = 0;  // the daemon's *current* epoch
+  bool binary = false;      // daemon accepted binary for this connection
   bool operator==(const ReattachReply&) const = default;
 };
 

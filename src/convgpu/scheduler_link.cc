@@ -162,7 +162,8 @@ Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
   auto client = ipc::MessageClient::ConnectUnix(socket_path);
   if (!client.ok()) return client.status();
   return std::unique_ptr<SocketSchedulerLink>(new SocketSchedulerLink(
-      std::move(*client), socket_path, Options{}, /*epoch=*/0, /*limit=*/0));
+      std::move(*client), socket_path, Options{}, /*epoch=*/0, /*limit=*/0,
+      /*binary=*/false));
 }
 
 Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
@@ -173,10 +174,15 @@ Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
 
   std::uint64_t epoch = 0;
   Bytes limit = 0;
+  bool binary = false;
   if (!options.container_id.empty()) {
     protocol::Hello hello;
     hello.container_id = options.container_id;
     hello.pid = options.pid;
+    // Codec negotiation rides the handshake, which itself always travels
+    // as JSON — an old daemon simply ignores the unknown key and never
+    // echoes it, which reads back as "JSON only".
+    hello.binary = options.enable_binary;
     CONVGPU_RETURN_IF_ERROR(
         (*client)->Send(protocol::Serialize(protocol::Message(hello))));
     auto raw = (*client)->Recv(options.handshake_timeout);
@@ -189,18 +195,21 @@ Result<std::unique_ptr<SocketSchedulerLink>> SocketSchedulerLink::Connect(
     }
     epoch = reply->epoch;
     limit = reply->limit;
+    binary = reply->binary && options.enable_binary;
   }
-  return std::unique_ptr<SocketSchedulerLink>(new SocketSchedulerLink(
-      std::move(*client), socket_path, std::move(options), epoch, limit));
+  return std::unique_ptr<SocketSchedulerLink>(
+      new SocketSchedulerLink(std::move(*client), socket_path,
+                              std::move(options), epoch, limit, binary));
 }
 
 SocketSchedulerLink::SocketSchedulerLink(
     std::unique_ptr<ipc::MessageClient> client, std::string socket_path,
-    Options options, std::uint64_t epoch, Bytes limit)
+    Options options, std::uint64_t epoch, Bytes limit, bool binary)
     : socket_path_(std::move(socket_path)), options_(std::move(options)) {
   client_ = std::move(client);
   epoch_ = epoch;
   limit_ = limit;
+  codec_ = binary ? &protocol::binary_codec() : &protocol::json_codec();
   snapshot_ = options_.snapshot;
   worker_ = std::thread([this] { WorkerLoop(); });
 }
@@ -250,12 +259,28 @@ bool SocketSchedulerLink::connected() const {
   return broken_.ok() && state_ == LinkState::kConnected;
 }
 
+std::string SocketSchedulerLink::wire_codec_name() const {
+  MutexLock lock(state_mutex_);
+  return std::string(codec_->name());
+}
+
 Status SocketSchedulerLink::ReadLoop(ipc::MessageClient& client) {
   for (;;) {
-    auto raw = client.Recv();
+    auto raw = client.RecvFrame();
     if (!raw.ok()) return raw.status();
-    const std::optional<protocol::ReqId> req_id = protocol::PeekReqId(*raw);
-    auto message = protocol::Parse(*raw);
+    // Replies are decoded by sniffing each payload's first byte, not by the
+    // negotiated state: both encodings are always accepted, so a daemon
+    // answering in either (including mid-renegotiation) is never
+    // misinterpreted.
+    const std::optional<protocol::ReqId> req_id =
+        protocol::PeekPayloadReqId(*raw);
+    auto message = protocol::DecodePayload(*raw);
+    if (!message.ok() && !req_id) {
+      // Garbage without even a correlation id: the stream can no longer be
+      // trusted (same as the old reader, where an unparsable frame failed
+      // Recv()). Connection loss; the worker decides reconnect vs fail.
+      return message.status();
+    }
     const Status routed =
         message.ok() ? router_.Route(req_id, std::move(*message))
                      : router_.Route(req_id, Result<protocol::Message>(
@@ -339,6 +364,7 @@ bool SocketSchedulerLink::Reconnect() {
     if (result.ok()) {
       std::shared_ptr<ipc::MessageClient> client = std::move(*fresh);
       std::vector<ReplyRouter::Parked> replay;
+      const protocol::Codec* codec = nullptr;
       {
         MutexLock lock(state_mutex_);
         if (closing_) {
@@ -348,6 +374,7 @@ bool SocketSchedulerLink::Reconnect() {
         }
         client_ = client;
         state_ = LinkState::kConnected;
+        codec = codec_;  // re-negotiated by ReattachHandshake just now
         replay.swap(waiting_);
         ++reconnects_;
         replayed_ += replay.size();
@@ -355,10 +382,12 @@ bool SocketSchedulerLink::Reconnect() {
       CONVGPU_LOG(kInfo, kTag)
           << "reattached to scheduler after " << attempt
           << " attempt(s); replaying " << replay.size() << " call(s)";
+      std::string scratch;
       for (auto& parked : replay) {
         const protocol::Message request = parked.request;
         const protocol::ReqId id = router_.Reissue(std::move(parked));
-        const Status sent = client->Send(protocol::Serialize(request, id));
+        codec->Encode(request, id, scratch);
+        const Status sent = client->SendFrame(scratch);
         if (!sent.ok()) {
           // The fresh connection died already. Force the reader to see it;
           // the next drain re-parks this (still replayable) call.
@@ -412,6 +441,11 @@ Status SocketSchedulerLink::ReattachHandshake(ipc::MessageClient& client) {
     snapshot = snapshot_;
   }
   if (snapshot) reattach.allocations = snapshot();
+  // Codec choice is per *connection*, so every reconnect renegotiates from
+  // scratch — the daemon answering this reattach may be an older or
+  // differently-configured incarnation than the one the link last spoke to.
+  // The handshake itself always travels as JSON.
+  reattach.binary = options_.enable_binary;
 
   CONVGPU_RETURN_IF_ERROR(
       client.Send(protocol::Serialize(protocol::Message(reattach))));
@@ -425,6 +459,9 @@ Status SocketSchedulerLink::ReattachHandshake(ipc::MessageClient& client) {
   }
   MutexLock lock(state_mutex_);
   epoch_ = reply->epoch;  // a restarted daemon hands out its new epoch
+  codec_ = (reply->binary && options_.enable_binary)
+               ? &protocol::binary_codec()
+               : &protocol::json_codec();
   return Status::Ok();
 }
 
@@ -432,6 +469,7 @@ SchedulerLink::ReplyFuture SocketSchedulerLink::AsyncCall(
     const protocol::Message& request) {
   const bool replayable = IsReplayable(request);
   std::shared_ptr<ipc::MessageClient> client;
+  const protocol::Codec* codec = nullptr;
   ReplyRouter::Issued issued;
   {
     MutexLock lock(state_mutex_);
@@ -453,10 +491,16 @@ SchedulerLink::ReplyFuture SocketSchedulerLink::AsyncCall(
       return future;
     }
     client = client_;
+    codec = codec_;
     issued = options_.auto_reconnect ? router_.Issue(request, replayable)
                                      : router_.Issue();
   }
-  const Status sent = client->Send(protocol::Serialize(request, issued.id));
+  // Per-thread scratch keeps the steady-state encode path allocation-free
+  // (see bench/codec_microbench); the codec singleton it points at is
+  // immutable, so using it after dropping the lock is safe.
+  thread_local std::string scratch;
+  codec->Encode(request, issued.id, scratch);
+  const Status sent = client->SendFrame(scratch);
   if (!sent.ok()) {
     if (options_.auto_reconnect) {
       // Convert any send failure into connection loss: the reader wakes,
@@ -477,6 +521,7 @@ SchedulerLink::ReplyFuture SocketSchedulerLink::AsyncCall(
 
 Status SocketSchedulerLink::Notify(const protocol::Message& message) {
   std::shared_ptr<ipc::MessageClient> client;
+  const protocol::Codec* codec = nullptr;
   {
     MutexLock lock(state_mutex_);
     if (!broken_.ok()) return broken_;
@@ -486,8 +531,11 @@ Status SocketSchedulerLink::Notify(const protocol::Message& message) {
       return UnavailableError("scheduler restarting; notification not sent");
     }
     client = client_;
+    codec = codec_;
   }
-  const Status sent = protocol::Notify(*client, message);
+  thread_local std::string scratch;
+  codec->Encode(message, std::nullopt, scratch);
+  const Status sent = client->SendFrame(scratch);
   if (!sent.ok() && options_.auto_reconnect) client->Shutdown();
   return sent;
 }

@@ -1,8 +1,11 @@
 // SchedulerLink: the wrapper module's channel to the GPU memory scheduler.
 //
 // Two implementations:
-//  * SocketSchedulerLink — JSON frames over the container's UNIX socket
-//    (production path, what the paper measures in Fig. 4);
+//  * SocketSchedulerLink — length-prefixed frames over the container's
+//    UNIX socket (production path, what the paper measures in Fig. 4).
+//    The payload encoding — the paper's JSON, or the compact binary layout
+//    from codec.h — is negotiated per connection in the hello/reattach
+//    handshake;
 //  * DirectSchedulerLink — calls a SchedulerCore in-process (unit tests and
 //    the zero-IPC rung of the transport ablation).
 //
@@ -28,6 +31,7 @@
 
 #include "common/mutex.h"
 #include "common/result.h"
+#include "convgpu/codec.h"
 #include "convgpu/protocol.h"
 #include "convgpu/scheduler_core.h"
 #include "ipc/message_server.h"
@@ -149,6 +153,13 @@ struct SocketSchedulerLinkOptions {
   /// but unresponsive) daemon cannot wedge the reconnect worker.
   std::chrono::milliseconds handshake_timeout{2000};
 
+  /// Advertise the binary wire encoding (codec.h) in the hello/reattach
+  /// handshake; the connection speaks binary only when the daemon accepts.
+  /// Off, the link is a pure-JSON peer — how interop tests model an old
+  /// wrapper. Requires container_id (the legacy no-handshake connect never
+  /// negotiates and always speaks JSON).
+  bool enable_binary = true;
+
   /// The wrapper's live-allocation snapshot, sent with reattach so a
   /// restarted daemon can rebuild this pid's ledger state. May also be set
   /// later via SetSnapshotProvider (the wrapper is built after the link).
@@ -191,13 +202,17 @@ class SocketSchedulerLink final : public SchedulerLink {
   /// True while a healthy connection is up (false during backoff and after
   /// a permanent failure).
   [[nodiscard]] bool connected() const;
+  /// Name of the encoding this connection negotiated ("json" or "binary").
+  /// Re-negotiated on every reconnect — a restarted daemon may answer
+  /// differently than the one the link first met.
+  [[nodiscard]] std::string wire_codec_name() const;
 
  private:
   enum class LinkState { kConnected, kReconnecting, kBroken };
 
   SocketSchedulerLink(std::unique_ptr<ipc::MessageClient> client,
                       std::string socket_path, Options options,
-                      std::uint64_t epoch, Bytes limit);
+                      std::uint64_t epoch, Bytes limit, bool binary);
 
   /// Worker thread: alternates the demultiplexing receive loop with the
   /// reconnect state machine until close or permanent failure.
@@ -235,6 +250,13 @@ class SocketSchedulerLink final : public SchedulerLink {
   std::vector<ReplyRouter::Parked> waiting_ GUARDED_BY(state_mutex_);
   std::uint64_t epoch_ GUARDED_BY(state_mutex_) = 0;
   Bytes limit_ GUARDED_BY(state_mutex_) = 0;
+  /// The encoding this connection incarnation sends with. Points at one of
+  /// the immortal stateless codec singletons, so the pointer read under the
+  /// lock is safe to *use* outside it. Replies are decoded by sniffing each
+  /// payload (DecodePayload), never by this state. Reset by every
+  /// reattach handshake.
+  const protocol::Codec* codec_ GUARDED_BY(state_mutex_) =
+      &protocol::json_codec();
   std::function<std::vector<protocol::LiveAlloc>()> snapshot_
       GUARDED_BY(state_mutex_);
   std::uint64_t reconnects_ GUARDED_BY(state_mutex_) = 0;

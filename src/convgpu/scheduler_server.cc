@@ -9,6 +9,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "convgpu/codec.h"
 
 namespace convgpu {
 
@@ -85,8 +86,8 @@ Status SchedulerServer::Start() {
 
   auto main_listener = reactor_.AddListener(
       main_socket_path(),
-      [this](ipc::ListenerId, ipc::ConnectionId conn, json::Json message) {
-        HandleMain(conn, std::move(message));
+      [this](ipc::ListenerId, ipc::ConnectionId conn, std::string payload) {
+        HandleMain(conn, std::move(payload));
       });
   if (!main_listener.ok()) {
     reactor_.Stop();
@@ -117,7 +118,32 @@ void SchedulerServer::Stop() {
 void SchedulerServer::Reply(ipc::ConnectionId conn,
                             const protocol::Message& message,
                             std::optional<protocol::ReqId> req_id) {
-  (void)reactor_.Send(conn, protocol::Serialize(message, req_id));
+  const protocol::Codec* codec = &protocol::json_codec();
+  {
+    MutexLock lock(mutex_);
+    if (binary_conns_.count(conn) > 0) codec = &protocol::binary_codec();
+  }
+  // Per-thread scratch: deferred grants encode on whichever thread released
+  // the memory, and reusing the buffer keeps the steady-state encode path
+  // allocation-free (see bench/codec_microbench).
+  thread_local std::string scratch;
+  codec->Encode(message, req_id, scratch);
+  (void)reactor_.SendBytes(conn, scratch);
+}
+
+void SchedulerServer::SetConnectionBinary(ipc::ConnectionId conn,
+                                          bool binary) {
+  MutexLock lock(mutex_);
+  if (binary) {
+    if (binary_conns_.insert(conn).second) {
+      CONVGPU_LOG(kDebug, kTag)
+          << "conn " << conn << " negotiated binary encoding";
+    }
+  } else {
+    if (binary_conns_.erase(conn) > 0) {
+      CONVGPU_LOG(kDebug, kTag) << "conn " << conn << " back to json encoding";
+    }
+  }
 }
 
 protocol::RegisterReply SchedulerServer::DoRegister(
@@ -203,8 +229,8 @@ SchedulerServer::EnsureChannel(const std::string& id) {
   // thread or wake-pipe of its own.
   auto listener = reactor_.AddListener(
       channel->socket_path,
-      [this, id](ipc::ListenerId, ipc::ConnectionId conn, json::Json message) {
-        HandleContainer(id, conn, std::move(message));
+      [this, id](ipc::ListenerId, ipc::ConnectionId conn, std::string payload) {
+        HandleContainer(id, conn, std::move(payload));
       },
       [this, id](ipc::ListenerId, ipc::ConnectionId conn) {
         HandleContainerDisconnect(id, conn);
@@ -274,10 +300,10 @@ protocol::StatsReply SchedulerServer::BuildStats() const {
   return reply;
 }
 
-void SchedulerServer::HandleMain(ipc::ConnectionId conn, json::Json message) {
+void SchedulerServer::HandleMain(ipc::ConnectionId conn, std::string payload) {
   std::optional<protocol::ReqId> req_id;
-  auto dispatched = protocol::Dispatch(
-      message, req_id,
+  auto dispatched = protocol::DispatchFrame(
+      payload, req_id,
       protocol::Visitor{
           [&](const protocol::RegisterContainer& request) {
             Reply(conn, DoRegister(request), req_id);
@@ -303,7 +329,7 @@ void SchedulerServer::HandleMain(ipc::ConnectionId conn, json::Json message) {
 
 void SchedulerServer::HandleContainer(const std::string& container_id,
                                       ipc::ConnectionId conn,
-                                      json::Json message) {
+                                      std::string payload) {
   std::shared_ptr<ContainerChannel> channel;
   {
     MutexLock lock(mutex_);
@@ -319,8 +345,8 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
   };
 
   std::optional<protocol::ReqId> req_id;
-  auto dispatched = protocol::Dispatch(
-      message, req_id,
+  auto dispatched = protocol::DispatchFrame(
+      payload, req_id,
       protocol::Visitor{
           [&](const protocol::AllocRequest& request) {
             note_pid(request.pid);
@@ -382,11 +408,22 @@ void SchedulerServer::HandleContainer(const std::string& container_id,
             } else {
               reply.error = "unknown container: " + container_id;
             }
+            // Codec negotiation: binary only when both sides opt in. The
+            // reply itself still rides the *current* (JSON) encoding — the
+            // switch takes effect for frames after the handshake.
+            const bool binary =
+                reply.ok && hello.binary && options_.enable_binary;
+            reply.binary = binary;
             Reply(conn, reply, req_id);
+            SetConnectionBinary(conn, binary);
           },
           [&](const protocol::Reattach& reattach) {
-            Reply(conn, DoReattach(container_id, *channel, conn, reattach),
-                  req_id);
+            auto reply = DoReattach(container_id, *channel, conn, reattach);
+            const bool binary =
+                reply.ok && reattach.binary && options_.enable_binary;
+            reply.binary = binary;
+            Reply(conn, reply, req_id);
+            SetConnectionBinary(conn, binary);
           },
           [&](const auto& other) {
             CONVGPU_LOG(kWarn, kTag)
@@ -479,6 +516,7 @@ void SchedulerServer::HandleContainerDisconnect(const std::string& container_id,
   std::shared_ptr<ContainerChannel> channel;
   {
     MutexLock lock(mutex_);
+    binary_conns_.erase(conn);  // codec choice dies with the connection
     auto it = channels_.find(container_id);
     if (it == channels_.end()) return;
     channel = it->second;

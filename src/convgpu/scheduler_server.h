@@ -37,6 +37,10 @@ struct SchedulerServerOptions {
   /// Shared-reactor tuning (tests lower the write-queue cap to exercise
   /// backpressure kicks).
   ipc::MessageServer::Options reactor;
+  /// Accept the binary wire encoding (codec.h) when a wrapper advertises it
+  /// in hello/reattach. Off, the daemon answers every negotiation with
+  /// "JSON only" — how interop tests model a pre-binary daemon.
+  bool enable_binary = true;
 };
 
 class SchedulerServer {
@@ -83,9 +87,9 @@ class SchedulerServer {
         GUARDED_BY(pids_mutex);
   };
 
-  void HandleMain(ipc::ConnectionId conn, json::Json message);
+  void HandleMain(ipc::ConnectionId conn, std::string payload);
   void HandleContainer(const std::string& container_id,
-                       ipc::ConnectionId conn, json::Json message);
+                       ipc::ConnectionId conn, std::string payload);
   void HandleContainerDisconnect(const std::string& container_id,
                                  ipc::ConnectionId conn);
   protocol::RegisterReply DoRegister(const protocol::RegisterContainer& request);
@@ -104,12 +108,17 @@ class SchedulerServer {
   Result<std::shared_ptr<ContainerChannel>> EnsureChannel(
       const std::string& id);
   protocol::StatsReply BuildStats() const;
-  /// Serializes and queues `message` on `conn`, echoing the correlation id
-  /// of the request it answers (absent for id-less old clients); a failed
-  /// send (vanished client, backpressure kick) is the client's problem,
-  /// not the daemon's.
+  /// Encodes `message` with the connection's negotiated codec (JSON unless
+  /// the hello/reattach handshake agreed on binary) and queues it on
+  /// `conn`, echoing the correlation id of the request it answers (absent
+  /// for id-less old clients); a failed send (vanished client, backpressure
+  /// kick) is the client's problem, not the daemon's. Safe from any thread
+  /// — deferred grants fire from whichever thread releases memory.
   void Reply(ipc::ConnectionId conn, const protocol::Message& message,
              std::optional<protocol::ReqId> req_id);
+  /// Records (or clears) `conn`'s negotiated encoding after a hello or
+  /// reattach handshake.
+  void SetConnectionBinary(ipc::ConnectionId conn, bool binary);
 
   SchedulerServerOptions options_;
   /// Declared before core_ so a grant callback firing during core_ teardown
@@ -126,6 +135,12 @@ class SchedulerServer {
   /// cross-epoch reattaches for these are accepted; a fresh DoRegister
   /// erases the mark and stale reattaches are rejected from then on.
   std::set<std::string> reattach_built_ GUARDED_BY(mutex_);
+  /// Connections that negotiated the binary encoding. Codec choice is
+  /// per-connection state, not per-container: one container can host an
+  /// old JSON wrapper and a new binary one side by side, and the choice
+  /// must die with the connection (ids are never reused) so a reconnecting
+  /// peer renegotiates from a clean JSON slate.
+  std::set<ipc::ConnectionId> binary_conns_ GUARDED_BY(mutex_);
   bool started_ GUARDED_BY(mutex_) = false;
 };
 

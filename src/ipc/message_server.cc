@@ -27,8 +27,7 @@ void SetNonBlocking(int fd) {
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-std::string FrameBytes(const json::Json& message) {
-  const std::string payload = message.Dump();
+std::string FrameBytes(std::string_view payload) {
   std::string frame;
   frame.reserve(payload.size() + 4);
   const auto n = static_cast<std::uint32_t>(payload.size());
@@ -80,8 +79,8 @@ Status MessageServer::Start(const std::string& path,
   MessageHandler wrapped_message;
   if (on_message) {
     wrapped_message = [handler = std::move(on_message)](
-                          ListenerId, ConnectionId conn, json::Json message) {
-      handler(conn, std::move(message));
+                          ListenerId, ConnectionId conn, std::string payload) {
+      handler(conn, std::move(payload));
     };
   }
   DisconnectHandler wrapped_disconnect;
@@ -96,6 +95,25 @@ Status MessageServer::Start(const std::string& path,
     return added.status();
   }
   return Status::Ok();
+}
+
+Status MessageServer::StartJson(const std::string& path,
+                                SimpleJsonHandler on_message,
+                                SimpleDisconnectHandler on_disconnect) {
+  SimpleMessageHandler wrapped;
+  if (on_message) {
+    wrapped = [handler = std::move(on_message)](ConnectionId conn,
+                                                std::string payload) {
+      auto parsed = json::Json::Parse(payload);
+      if (!parsed.ok()) {
+        CONVGPU_LOG(kWarn, kTag) << "bad JSON from connection " << conn << ": "
+                                 << parsed.status().ToString();
+        return;  // skip the malformed frame, keep the connection
+      }
+      handler(conn, std::move(*parsed));
+    };
+  }
+  return Start(path, std::move(wrapped), std::move(on_disconnect));
 }
 
 Result<ListenerId> MessageServer::AddListener(const std::string& path,
@@ -123,6 +141,25 @@ Result<ListenerId> MessageServer::AddListener(const std::string& path,
     WakeLocked();  // the poll() fallback rebuilds its fd set on wake-up
     return id;
   }
+}
+
+Result<ListenerId> MessageServer::AddJsonListener(
+    const std::string& path, JsonMessageHandler on_message,
+    DisconnectHandler on_disconnect) {
+  MessageHandler wrapped;
+  if (on_message) {
+    wrapped = [handler = std::move(on_message)](
+                  ListenerId listener, ConnectionId conn, std::string payload) {
+      auto parsed = json::Json::Parse(payload);
+      if (!parsed.ok()) {
+        CONVGPU_LOG(kWarn, kTag) << "bad JSON from connection " << conn << ": "
+                                 << parsed.status().ToString();
+        return;  // skip the malformed frame, keep the connection
+      }
+      handler(listener, conn, std::move(*parsed));
+    };
+  }
+  return AddListener(path, std::move(wrapped), std::move(on_disconnect));
 }
 
 Status MessageServer::RemoveListener(ListenerId listener) {
@@ -154,7 +191,7 @@ void MessageServer::WakeLocked() {
   [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), &byte, 1);
 }
 
-Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
+Status MessageServer::SendBytes(ConnectionId conn, std::string_view payload) {
   {
     MutexLock lock(mutex_);
     auto it = connections_.find(conn);
@@ -162,7 +199,7 @@ Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
       return NotFoundError("connection " + std::to_string(conn) + " gone");
     }
     Connection& connection = it->second;
-    std::string frame = FrameBytes(message);
+    std::string frame = FrameBytes(payload);
     if (connection.queued_bytes + frame.size() >
         options_.max_queued_bytes_per_connection) {
       // Backpressure: a consumer that stopped reading must not grow the
@@ -186,6 +223,10 @@ Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
     if (reactor_tid_ != std::this_thread::get_id()) WakeLocked();
   }
   return Status::Ok();
+}
+
+Status MessageServer::Send(ConnectionId conn, const json::Json& message) {
+  return SendBytes(conn, message.Dump());
 }
 
 void MessageServer::CloseConnection(ConnectionId conn) {
@@ -287,8 +328,8 @@ void MessageServer::AcceptPending(ListenerId id) {
 void MessageServer::HandleReadable(ConnectionId id) {
   // Drain available bytes into the connection's read buffer, then peel off
   // complete frames. The handler may call Send()/CloseConnection(), which
-  // take the mutex, so the buffer is copied out before dispatching.
-  std::vector<json::Json> messages;
+  // take the mutex, so the payloads are copied out before dispatching.
+  std::vector<std::string> messages;
   ListenerId listener = 0;
   std::shared_ptr<const Callbacks> callbacks;
   bool drop = false;
@@ -332,16 +373,10 @@ void MessageServer::HandleReadable(ConnectionId id) {
         break;
       }
       if (conn.read_buffer.size() < 4 + length) break;
-      auto parsed = json::Json::Parse(
-          std::string_view(conn.read_buffer).substr(4, length));
+      // The reactor does not interpret the payload — codec concerns
+      // (JSON vs binary, malformed data) belong to the handler.
+      messages.emplace_back(conn.read_buffer, 4, length);
       conn.read_buffer.erase(0, 4 + static_cast<std::size_t>(length));
-      if (!parsed.ok()) {
-        CONVGPU_LOG(kWarn, kTag)
-            << "bad JSON from connection " << id << ": "
-            << parsed.status().ToString();
-        continue;  // skip the malformed frame, keep the connection
-      }
-      messages.push_back(std::move(*parsed));
     }
   }
 
@@ -566,14 +601,14 @@ Result<std::unique_ptr<MessageClient>> MessageClient::ConnectUnix(
   return std::unique_ptr<MessageClient>(new MessageClient(std::move(*fd)));
 }
 
-Status MessageClient::Send(const json::Json& message) {
+Status MessageClient::SendFrame(std::string_view payload) {
   MutexLock lock(write_mutex_);
-  return WriteMessage(fd_.get(), message);
+  return WriteFrame(fd_.get(), payload);
 }
 
-Result<json::Json> MessageClient::Recv() { return ReadMessage(fd_.get()); }
+Result<std::string> MessageClient::RecvFrame() { return ReadFrame(fd_.get()); }
 
-Result<json::Json> MessageClient::Recv(std::chrono::milliseconds timeout) {
+Result<std::string> MessageClient::RecvFrame(std::chrono::milliseconds timeout) {
   pollfd pfd{};
   pfd.fd = fd_.get();
   pfd.events = POLLIN;
@@ -586,7 +621,23 @@ Result<json::Json> MessageClient::Recv(std::chrono::milliseconds timeout) {
     if (ready == 0) return DeadlineExceededError("recv: timed out");
     break;
   }
-  return ReadMessage(fd_.get());
+  return ReadFrame(fd_.get());
+}
+
+Status MessageClient::Send(const json::Json& message) {
+  return SendFrame(message.Dump());
+}
+
+Result<json::Json> MessageClient::Recv() {
+  auto frame = RecvFrame();
+  if (!frame.ok()) return frame.status();
+  return json::Json::Parse(*frame);
+}
+
+Result<json::Json> MessageClient::Recv(std::chrono::milliseconds timeout) {
+  auto frame = RecvFrame(timeout);
+  if (!frame.ok()) return frame.status();
+  return json::Json::Parse(*frame);
 }
 
 Result<json::Json> MessageClient::Call(const json::Json& request) {

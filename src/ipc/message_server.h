@@ -40,19 +40,28 @@ namespace convgpu::ipc {
 using ConnectionId = std::uint64_t;
 using ListenerId = std::uint64_t;
 
-/// Multiplexed JSON-message server over any number of UNIX listeners.
+/// Multiplexed message server over any number of UNIX listeners. The
+/// reactor carries *opaque frame payloads* — it peels length-prefixed
+/// frames off the stream and hands the raw bytes to the handler without
+/// interpreting them, so one reactor serves JSON and binary (codec.h)
+/// connections alike. JSON-only consumers use the *Json* conveniences,
+/// which parse and skip malformed frames exactly like the old reactor.
 /// Start() spawns the reactor thread; Stop() joins it. Handlers run on the
 /// reactor thread.
 class MessageServer {
  public:
   /// Per-listener handlers: invoked for traffic on connections accepted on
-  /// that listener, with the listener's id first.
+  /// that listener, with the listener's id first. The string is one frame's
+  /// payload, header stripped, encoding uninterpreted.
   using MessageHandler =
+      std::function<void(ListenerId, ConnectionId, std::string)>;
+  using JsonMessageHandler =
       std::function<void(ListenerId, ConnectionId, json::Json)>;
   using DisconnectHandler = std::function<void(ListenerId, ConnectionId)>;
 
   /// Single-listener convenience signatures (see the two-argument Start()).
-  using SimpleMessageHandler = std::function<void(ConnectionId, json::Json)>;
+  using SimpleMessageHandler = std::function<void(ConnectionId, std::string)>;
+  using SimpleJsonHandler = std::function<void(ConnectionId, json::Json)>;
   using SimpleDisconnectHandler = std::function<void(ConnectionId)>;
 
   struct Options {
@@ -76,6 +85,11 @@ class MessageServer {
   Status Start(const std::string& path, SimpleMessageHandler on_message,
                SimpleDisconnectHandler on_disconnect = nullptr);
 
+  /// Start() convenience for JSON-only consumers: frames are parsed and
+  /// malformed ones logged + skipped (the connection survives).
+  Status StartJson(const std::string& path, SimpleJsonHandler on_message,
+                   SimpleDisconnectHandler on_disconnect = nullptr);
+
   /// Binds `path` and serves it on the shared reactor. Safe from any
   /// thread; fails with kFailedPrecondition once Stop() has begun (the
   /// listener fd is released, never leaked).
@@ -83,15 +97,25 @@ class MessageServer {
                                  MessageHandler on_message,
                                  DisconnectHandler on_disconnect = nullptr);
 
+  /// AddListener for JSON-only consumers: parses each frame and skips
+  /// malformed ones (logged, connection kept) before invoking the handler.
+  Result<ListenerId> AddJsonListener(const std::string& path,
+                                     JsonMessageHandler on_message,
+                                     DisconnectHandler on_disconnect = nullptr);
+
   /// Closes the listening socket (unlinking its path) and disconnects its
   /// connections once their queued writes drain. kNotFound if unknown.
   Status RemoveListener(ListenerId listener);
 
-  /// Queues a message on `conn`'s write queue. Safe from any thread,
-  /// including reentrantly from the message handler. Returns kNotFound if
-  /// the connection is gone (the caller treats that as a vanished client)
-  /// and kResourceExhausted if the connection just blew its write-queue cap
-  /// (it is disconnected; the message is not queued).
+  /// Queues one frame payload on `conn`'s write queue (the 4-byte header
+  /// is added here). Safe from any thread, including reentrantly from the
+  /// message handler. Returns kNotFound if the connection is gone (the
+  /// caller treats that as a vanished client) and kResourceExhausted if the
+  /// connection just blew its write-queue cap (it is disconnected; the
+  /// payload is not queued).
+  Status SendBytes(ConnectionId conn, std::string_view payload);
+
+  /// JSON convenience over SendBytes.
   Status Send(ConnectionId conn, const json::Json& message);
 
   /// Closes one connection (flushing already-queued writes first).
@@ -204,12 +228,22 @@ class MessageClient {
   MessageClient(const MessageClient&) = delete;
   MessageClient& operator=(const MessageClient&) = delete;
 
-  Status Send(const json::Json& message);
-  Result<json::Json> Recv();
+  /// Raw frame primitives: one length-prefixed frame, payload encoding
+  /// uninterpreted (JSON or binary — see convgpu/codec.h). SendFrame is
+  /// thread-safe against itself; RecvFrame is single-reader.
+  Status SendFrame(std::string_view payload);
+  Result<std::string> RecvFrame();
 
-  /// Recv with a deadline: polls for readability first and fails with
+  /// RecvFrame with a deadline: polls for readability first and fails with
   /// kDeadlineExceeded if no frame *starts* arriving within `timeout`.
   /// Used for handshakes against a possibly-hung peer.
+  Result<std::string> RecvFrame(std::chrono::milliseconds timeout);
+
+  /// JSON conveniences over the frame primitives. Recv fails (and the
+  /// caller typically abandons the connection) on a frame that is not
+  /// valid JSON.
+  Status Send(const json::Json& message);
+  Result<json::Json> Recv();
   Result<json::Json> Recv(std::chrono::milliseconds timeout);
   /// Send then block for exactly one reply.
   Result<json::Json> Call(const json::Json& request);

@@ -289,7 +289,7 @@ TEST_F(FailureInjectionTest, PeerDisconnectBetweenSendAndReceiveIsTyped) {
   const std::string path = dir.path() + "/rude.sock";
   ipc::MessageServer rude;
   ASSERT_TRUE(rude.Start(path,
-                         [&rude](ipc::ConnectionId conn, json::Json) {
+                         [&rude](ipc::ConnectionId conn, std::string) {
                            rude.CloseConnection(conn);  // no reply, ever
                          })
                   .ok());

@@ -71,7 +71,7 @@ class FaultScheduler {
     auto tarpit = std::make_unique<ipc::MessageServer>();
     auto status = tarpit->Start();
     if (!status.ok()) return status;
-    auto swallow = [](ipc::ListenerId, ipc::ConnectionId, json::Json) {};
+    auto swallow = [](ipc::ListenerId, ipc::ConnectionId, std::string) {};
     auto listener = tarpit->AddListener(main_socket_path(), swallow);
     if (!listener.ok()) return listener.status();
     std::error_code ec;
@@ -110,8 +110,13 @@ class FaultScheduler {
     return options_.base_dir + "/containers/" + id + "/convgpu.sock";
   }
 
+  /// Options for the *next* incarnation. Interop tests flip enable_binary
+  /// here while the daemon is down, so the reconnecting link meets a
+  /// differently-configured peer on the same sockets.
+  [[nodiscard]] SchedulerServerOptions& options() { return options_; }
+
  private:
-  const SchedulerServerOptions options_;
+  SchedulerServerOptions options_;
   std::unique_ptr<SchedulerServer> server_;
   std::unique_ptr<ipc::MessageServer> tarpit_;
 };

@@ -116,11 +116,11 @@ class MessageServerTest : public ::testing::Test {
 
 TEST_F(MessageServerTest, EchoesImmediately) {
   ASSERT_TRUE(server_
-                  .Start(SocketPath(),
-                         [this](ConnectionId conn, json::Json msg) {
-                           msg["echoed"] = true;
-                           (void)server_.Send(conn, msg);
-                         })
+                  .StartJson(SocketPath(),
+                             [this](ConnectionId conn, json::Json msg) {
+                               msg["echoed"] = true;
+                               (void)server_.Send(conn, msg);
+                             })
                   .ok());
 
   auto client = MessageClient::ConnectUnix(SocketPath());
@@ -133,6 +133,27 @@ TEST_F(MessageServerTest, EchoesImmediately) {
   EXPECT_EQ(reply->GetString("type"), "ping");
 }
 
+TEST_F(MessageServerTest, CarriesOpaqueBytes) {
+  // The reactor does not interpret payloads: arbitrary non-JSON bytes
+  // (NULs, high bits, a lone 0xBF) survive the byte-level
+  // Start/SendBytes/SendFrame/RecvFrame path untouched.
+  ASSERT_TRUE(server_
+                  .Start(SocketPath(),
+                         [this](ConnectionId conn, std::string payload) {
+                           payload.push_back('!');
+                           (void)server_.SendBytes(conn, payload);
+                         })
+                  .ok());
+
+  auto client = MessageClient::ConnectUnix(SocketPath());
+  ASSERT_TRUE(client.ok());
+  const std::string blob = std::string("\xBF\x00\x01binary\xFF", 9);
+  ASSERT_TRUE((*client)->SendFrame(blob).ok());
+  auto reply = (*client)->RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, blob + "!");
+}
+
 TEST_F(MessageServerTest, DeferredReplyFromAnotherThread) {
   // The suspension pattern: handler stores the connection; a different
   // thread answers later.
@@ -141,12 +162,12 @@ TEST_F(MessageServerTest, DeferredReplyFromAnotherThread) {
   std::optional<ConnectionId> waiting;
 
   ASSERT_TRUE(server_
-                  .Start(SocketPath(),
-                         [&](ConnectionId conn, json::Json) {
-                           std::lock_guard lock(mutex);
-                           waiting = conn;
-                           cv.notify_one();
-                         })
+                  .StartJson(SocketPath(),
+                             [&](ConnectionId conn, json::Json) {
+                               std::lock_guard lock(mutex);
+                               waiting = conn;
+                               cv.notify_one();
+                             })
                   .ok());
 
   std::thread releaser([&] {
@@ -170,7 +191,7 @@ TEST_F(MessageServerTest, DeferredReplyFromAnotherThread) {
 TEST_F(MessageServerTest, DisconnectHandlerFires) {
   std::atomic<int> disconnects{0};
   ASSERT_TRUE(server_
-                  .Start(
+                  .StartJson(
                       SocketPath(), [](ConnectionId, json::Json) {},
                       [&](ConnectionId) { ++disconnects; })
                   .ok());
@@ -190,11 +211,11 @@ TEST_F(MessageServerTest, DisconnectHandlerFires) {
 TEST_F(MessageServerTest, ManyConcurrentClients) {
   std::atomic<int> received{0};
   ASSERT_TRUE(server_
-                  .Start(SocketPath(),
-                         [&](ConnectionId conn, json::Json msg) {
-                           ++received;
-                           (void)server_.Send(conn, msg);
-                         })
+                  .StartJson(SocketPath(),
+                             [&](ConnectionId conn, json::Json msg) {
+                               ++received;
+                               (void)server_.Send(conn, msg);
+                             })
                   .ok());
   constexpr int kClients = 16;
   constexpr int kMessages = 20;
@@ -219,14 +240,16 @@ TEST_F(MessageServerTest, ManyConcurrentClients) {
 }
 
 TEST_F(MessageServerTest, SendToUnknownConnectionIsNotFound) {
-  ASSERT_TRUE(server_.Start(SocketPath(), [](ConnectionId, json::Json) {}).ok());
+  ASSERT_TRUE(
+      server_.StartJson(SocketPath(), [](ConnectionId, json::Json) {}).ok());
   json::Json msg;
   msg["x"] = 1;
   EXPECT_EQ(server_.Send(9999, msg).code(), StatusCode::kNotFound);
 }
 
 TEST_F(MessageServerTest, StopIsIdempotent) {
-  ASSERT_TRUE(server_.Start(SocketPath(), [](ConnectionId, json::Json) {}).ok());
+  ASSERT_TRUE(
+      server_.StartJson(SocketPath(), [](ConnectionId, json::Json) {}).ok());
   server_.Stop();
   server_.Stop();
 }
@@ -239,7 +262,7 @@ TEST_F(MessageServerTest, MultipleListenersShareOneReactor) {
   std::atomic<int> disconnects{0};
   auto add = [&](const std::string& path,
                  const std::string& tag) -> ListenerId {
-    auto id = server_.AddListener(
+    auto id = server_.AddJsonListener(
         path,
         [&, tag](ListenerId listener, ConnectionId conn, json::Json msg) {
           msg["tag"] = tag;
@@ -286,7 +309,7 @@ TEST_F(MessageServerTest, MultipleListenersShareOneReactor) {
 TEST_F(MessageServerTest, RemoveListenerUnlinksPathAndDropsConnections) {
   ASSERT_TRUE(server_.Start().ok());
   std::atomic<int> disconnects{0};
-  auto id = server_.AddListener(
+  auto id = server_.AddJsonListener(
       SocketPath(),
       [&](ListenerId, ConnectionId conn, json::Json msg) {
         (void)server_.Send(conn, msg);
@@ -326,13 +349,13 @@ TEST_F(MessageServerTest, HandlersSurviveRemoveListenerForLiveConnections) {
   // listener (or this one) must not leave live connections with dangling
   // handlers. Exercised here by removing listener B while A still chats.
   ASSERT_TRUE(server_.Start().ok());
-  auto a = server_.AddListener(
+  auto a = server_.AddJsonListener(
       dir_.path() + "/a.sock",
       [&](ListenerId, ConnectionId conn, json::Json msg) {
         (void)server_.Send(conn, msg);
       });
-  auto b = server_.AddListener(dir_.path() + "/b.sock",
-                               [](ListenerId, ConnectionId, json::Json) {});
+  auto b = server_.AddJsonListener(dir_.path() + "/b.sock",
+                                   [](ListenerId, ConnectionId, json::Json) {});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
 
@@ -362,7 +385,7 @@ TEST(MessageServerBackpressureTest, SlowConsumerIsDisconnected) {
   std::atomic<int> disconnects{0};
   const std::string path = dir.path() + "/srv.sock";
   ASSERT_TRUE(server
-                  .Start(
+                  .StartJson(
                       path,
                       [&](ConnectionId conn, json::Json) {
                         std::lock_guard lock(mutex);
@@ -413,7 +436,7 @@ TEST(MessageClientTest, ShutdownTwiceIsSafeAndWakesBlockedRecv) {
   TempDir dir;
   MessageServer server;
   const std::string path = dir.path() + "/srv.sock";
-  ASSERT_TRUE(server.Start(path, [](ConnectionId, json::Json) {}).ok());
+  ASSERT_TRUE(server.StartJson(path, [](ConnectionId, json::Json) {}).ok());
 
   auto client = MessageClient::ConnectUnix(path);
   ASSERT_TRUE(client.ok());
@@ -445,7 +468,7 @@ TEST(MessageServerRaceTest, RemoveListenerRacesUndeliveredDeferredReply) {
     std::mutex mutex;
     std::condition_variable cv;
     std::optional<ConnectionId> conn;
-    auto listener = server.AddListener(
+    auto listener = server.AddJsonListener(
         dir.path() + "/srv.sock",
         [&](ListenerId, ConnectionId c, json::Json) {
           std::lock_guard lock(mutex);
@@ -502,9 +525,9 @@ TEST(MessageServerBackpressureTest, KicksAreCountedPerListener) {
     victim = conn;
     cv.notify_one();
   };
-  auto quiet = server.AddListener(dir.path() + "/quiet.sock", on_message);
+  auto quiet = server.AddJsonListener(dir.path() + "/quiet.sock", on_message);
   ASSERT_TRUE(quiet.ok());
-  auto busy = server.AddListener(dir.path() + "/busy.sock", on_message);
+  auto busy = server.AddJsonListener(dir.path() + "/busy.sock", on_message);
   ASSERT_TRUE(busy.ok());
 
   auto client = MessageClient::ConnectUnix(dir.path() + "/busy.sock");
@@ -549,7 +572,7 @@ TEST(MessageServerRaceTest, AddListenerDuringStopFailsCleanly) {
 
     std::thread adder([&] {
       for (int i = 0; i < 8; ++i) {
-        auto id = server.AddListener(
+        auto id = server.AddJsonListener(
             dir.path() + "/race-" + std::to_string(i) + ".sock",
             [](ListenerId, ConnectionId, json::Json) {});
         if (!id.ok()) {
@@ -563,8 +586,9 @@ TEST(MessageServerRaceTest, AddListenerDuringStopFailsCleanly) {
     // Either way the server restarts from scratch without tripping over
     // leftover state.
     ASSERT_TRUE(server.Start().ok());
-    auto id = server.AddListener(dir.path() + "/after.sock",
-                                 [](ListenerId, ConnectionId, json::Json) {});
+    auto id =
+        server.AddJsonListener(dir.path() + "/after.sock",
+                               [](ListenerId, ConnectionId, json::Json) {});
     EXPECT_TRUE(id.ok()) << id.status().ToString();
     server.Stop();
   }

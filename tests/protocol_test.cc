@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "common/rng.h"
+#include "convgpu/codec.h"
 
 namespace convgpu::protocol {
 namespace {
@@ -453,6 +454,7 @@ Message RandomMessage(Rng& rng, std::size_t variant) {
       Hello m;
       m.container_id = RandomToken(rng);
       m.pid = RandomPid(rng);
+      m.binary = rng.UniformBelow(2) == 0;
       return m;
     }
     case 16: {
@@ -461,6 +463,7 @@ Message RandomMessage(Rng& rng, std::size_t variant) {
       m.error = RandomToken(rng);
       m.epoch = RandomU62(rng);
       m.limit = RandomBytes(rng);
+      m.binary = rng.UniformBelow(2) == 0;
       return m;
     }
     case 17: {
@@ -476,6 +479,7 @@ Message RandomMessage(Rng& rng, std::size_t variant) {
         alloc.size = RandomBytes(rng);
         m.allocations.push_back(alloc);
       }
+      m.binary = rng.UniformBelow(2) == 0;
       return m;
     }
     default: {
@@ -483,6 +487,7 @@ Message RandomMessage(Rng& rng, std::size_t variant) {
       m.ok = rng.UniformBelow(2) == 0;
       m.error = RandomToken(rng);
       m.epoch = RandomU62(rng);
+      m.binary = rng.UniformBelow(2) == 0;
       return m;
     }
   }
@@ -547,6 +552,145 @@ TEST(ProtocolPropertyTest, CorruptedFramesNeverCrashDispatch) {
           (1u << rng.UniformBelow(8)));
       DispatchCorrupted(mutated);
     }
+  }
+}
+
+// --- Wire codec properties (codec.h) ----------------------------------------
+
+TEST(CodecTest, DetectCodecSniffsTheFirstByte) {
+  EXPECT_EQ(DetectCodec("{\"type\":\"ping\"}").name(), "json");
+  EXPECT_EQ(DetectCodec(std::string(1, static_cast<char>(kBinaryMagic))).name(),
+            "binary");
+  // Total on any input: garbage maps to *some* codec whose Decode then
+  // reports the precise error.
+  EXPECT_EQ(DetectCodec("").name(), "json");
+  EXPECT_FALSE(DecodePayload("").ok());
+  EXPECT_FALSE(
+      DecodePayload(std::string(1, static_cast<char>(kBinaryMagic))).ok());
+}
+
+TEST(CodecTest, BinaryDecodeRejectsUnknownTagAndTrailingBytes) {
+  const std::string ping = EncodePayload(binary_codec(), Message(Ping{}));
+  ASSERT_TRUE(DecodePayload(ping).ok());
+
+  std::string bad_tag = ping;
+  bad_tag[1] = static_cast<char>(200);  // no such Message alternative
+  auto decoded = binary_codec().Decode(bad_tag);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  std::string trailing = ping + "x";
+  decoded = binary_codec().Decode(trailing);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  decoded = binary_codec().Decode("not binary at all");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecPropertyTest, BinaryRoundTripsAreExact) {
+  Rng rng(0xC0FFEE);
+  constexpr int kIterations = 1500;  // ~79 per variant, like the JSON suite
+  for (int i = 0; i < kIterations; ++i) {
+    const Message message =
+        RandomMessage(rng, static_cast<std::size_t>(i) % kVariantCount);
+    std::optional<ReqId> req_id;
+    if (rng.UniformBelow(2) == 0) {
+      req_id = 1 + static_cast<ReqId>(rng.UniformBelow(kMaxWireReqId));
+    }
+    const std::string bytes = EncodePayload(binary_codec(), message, req_id);
+    ASSERT_EQ(&DetectCodec(bytes), &binary_codec());
+    EXPECT_EQ(PeekPayloadReqId(bytes), req_id);
+    auto decoded = DecodePayload(bytes);
+    ASSERT_TRUE(decoded.ok())
+        << TypeName(message) << ": " << decoded.status().ToString();
+    EXPECT_TRUE(*decoded == message)
+        << "iteration " << i << " mangled a " << TypeName(message);
+  }
+}
+
+TEST(CodecPropertyTest, JsonCodecMatchesTheTreeWriterByteForByte) {
+  // JsonCodec::Encode is a direct text writer on the hot path; an old peer
+  // must not be able to tell it from Serialize().Dump() — same keys, same
+  // order, same number formatting, byte for byte.
+  Rng rng(0xC0FFEE);
+  constexpr int kIterations = 1500;
+  for (int i = 0; i < kIterations; ++i) {
+    const Message message =
+        RandomMessage(rng, static_cast<std::size_t>(i) % kVariantCount);
+    std::optional<ReqId> req_id;
+    if (rng.UniformBelow(2) == 0) {
+      req_id = 1 + static_cast<ReqId>(rng.UniformBelow(kMaxWireReqId));
+    }
+    const std::string direct = EncodePayload(json_codec(), message, req_id);
+    const std::string tree = Serialize(message, req_id).Dump();
+    ASSERT_EQ(direct, tree) << "iteration " << i << ", " << TypeName(message);
+  }
+}
+
+TEST(CodecPropertyTest, EncodingsAreEquivalent) {
+  // The same Message decodes identically from either wire form — the
+  // guarantee that lets negotiation be per-connection without the scheduler
+  // caring who speaks what.
+  Rng rng(0xC0FFEE);
+  constexpr int kIterations = 1500;
+  for (int i = 0; i < kIterations; ++i) {
+    const Message message =
+        RandomMessage(rng, static_cast<std::size_t>(i) % kVariantCount);
+    const std::optional<ReqId> req_id =
+        1 + static_cast<ReqId>(rng.UniformBelow(kMaxWireReqId));
+    auto from_json =
+        DecodePayload(EncodePayload(json_codec(), message, req_id));
+    auto from_binary =
+        DecodePayload(EncodePayload(binary_codec(), message, req_id));
+    ASSERT_TRUE(from_json.ok()) << from_json.status().ToString();
+    ASSERT_TRUE(from_binary.ok()) << from_binary.status().ToString();
+    EXPECT_TRUE(*from_json == *from_binary)
+        << "iteration " << i << " diverged on a " << TypeName(message);
+  }
+}
+
+TEST(CodecPropertyTest, CorruptedBinaryFramesNeverCrash) {
+  // Truncations and bit flips through the full receive path: decode either
+  // succeeds (a flip may land in string payload bytes) or reports
+  // kInvalidArgument — never crashes, hangs, or reads out of bounds (this
+  // also runs under the ASan leg of tools/check.sh).
+  Rng rng(0xBAD5EED);
+  constexpr int kFrames = 300;
+  auto check = [](const std::string& bytes) {
+    (void)PeekPayloadReqId(bytes);
+    auto decoded = DecodePayload(bytes);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+          << decoded.status().ToString();
+    }
+  };
+  for (int i = 0; i < kFrames; ++i) {
+    const Message message =
+        RandomMessage(rng, static_cast<std::size_t>(i) % kVariantCount);
+    const std::string bytes =
+        EncodePayload(binary_codec(), message, static_cast<ReqId>(i + 1));
+    for (const std::size_t cut :
+         {std::size_t{0}, bytes.size() / 4, bytes.size() / 2,
+          bytes.size() - 1}) {
+      check(bytes.substr(0, cut));
+    }
+    for (int flip = 0; flip < 8; ++flip) {
+      std::string mutated = bytes;
+      const std::size_t pos = rng.UniformBelow(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          (1u << rng.UniformBelow(8)));
+      check(mutated);
+    }
+    // Random garbage after the magic byte: decode must stay bounded.
+    std::string garbage(1 + rng.UniformBelow(64), '\0');
+    garbage[0] = static_cast<char>(kBinaryMagic);
+    for (std::size_t b = 1; b < garbage.size(); ++b) {
+      garbage[b] = static_cast<char>(rng.UniformBelow(256));
+    }
+    check(garbage);
   }
 }
 

@@ -194,7 +194,7 @@ class ReorderingServer {
  public:
   ReorderingServer(const std::string& path, std::size_t wave_size)
       : wave_size_(wave_size) {
-    const Status started = server_.Start(
+    const Status started = server_.StartJson(
         path, [this](ipc::ConnectionId conn, json::Json frame) {
           OnFrame(conn, std::move(frame));
         });
@@ -315,7 +315,7 @@ TEST(SchedulerLinkPipeliningTest, SixteenThreadsSurviveReorderedReplies) {
 class RecordingEchoServer {
  public:
   explicit RecordingEchoServer(const std::string& path) {
-    const Status started = server_.Start(
+    const Status started = server_.StartJson(
         path, [this](ipc::ConnectionId conn, json::Json frame) {
           {
             MutexLock lock(mutex_);
@@ -369,8 +369,9 @@ TEST(SchedulerLinkPipeliningTest, BlockingCallRejectsMismatchedEcho) {
   const std::string path = dir.path() + "/liar.sock";
   ipc::MessageServer server;
   ASSERT_TRUE(server
-                  .Start(path,
-                         [&server](ipc::ConnectionId conn, json::Json frame) {
+                  .StartJson(path,
+                             [&server](ipc::ConnectionId conn,
+                                       json::Json frame) {
                            const auto id = protocol::PeekReqId(frame);
                            (void)server.Send(
                                conn, protocol::Serialize(

@@ -1,0 +1,263 @@
+// Wire-encoding interop: every pairing of binary-capable and JSON-only
+// peers must converge on an encoding both sides speak, with zero
+// configuration. A new wrapper against an old (pre-binary) daemon — and an
+// old wrapper against a new daemon — negotiate down to JSON, byte-for-byte
+// the historical wire format; two new peers upgrade to binary; and a
+// reconnect onto a *differently configured* daemon re-negotiates from
+// scratch without dropping the in-flight calls it replays.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "convgpu/codec.h"
+#include "convgpu/convgpu.h"
+#include "tests/fault_harness.h"
+#include "tests/test_util.h"
+
+namespace convgpu {
+namespace {
+
+using namespace convgpu::literals;
+using namespace std::chrono_literals;
+using convgpu::testing::FaultScheduler;
+using convgpu::testing::TempDir;
+using convgpu::testing::WaitUntil;
+
+class WireInteropTest : public ::testing::Test {
+ protected:
+  WireInteropTest() {
+    SchedulerServerOptions options;
+    options.base_dir = dir_.path();
+    options.scheduler.capacity = 5_GiB;
+    fault_ = std::make_unique<FaultScheduler>(std::move(options));
+    EXPECT_TRUE(fault_->Up().ok());
+  }
+
+  Result<protocol::RegisterReply> Register(const std::string& id,
+                                           Bytes limit) {
+    auto main = ipc::MessageClient::ConnectUnix(fault_->main_socket_path());
+    if (!main.ok()) return main.status();
+    protocol::RegisterContainer reg;
+    reg.container_id = id;
+    reg.memory_limit = limit;
+    auto reply = protocol::Expect<protocol::RegisterReply>(
+        protocol::Call(**main, protocol::Message(reg), /*req_id=*/1));
+    if (reply.ok() && !reply->ok) {
+      return Result<protocol::RegisterReply>(InternalError(reply->error));
+    }
+    return reply;
+  }
+
+  static SocketSchedulerLink::Options FastOptions(const std::string& id,
+                                                  Pid pid) {
+    SocketSchedulerLink::Options options;
+    options.container_id = id;
+    options.pid = pid;
+    options.auto_reconnect = true;
+    options.initial_backoff = 5ms;
+    options.max_backoff = 50ms;
+    options.handshake_timeout = 500ms;
+    return options;
+  }
+
+  /// One full admission exchange — proof the negotiated encoding actually
+  /// carries scheduler traffic, not just the handshake.
+  static void ExpectAllocWorks(SchedulerLink& link, const std::string& id,
+                               Pid pid) {
+    protocol::AllocRequest request;
+    request.container_id = id;
+    request.pid = pid;
+    request.size = 16_MiB;
+    request.api = "cudaMalloc";
+    auto granted = protocol::Expect<protocol::AllocReply>(
+        link.Call(protocol::Message(request)));
+    ASSERT_TRUE(granted.ok()) << granted.status().ToString();
+    EXPECT_TRUE(granted->granted) << granted->error;
+    protocol::AllocAbort abort;
+    abort.container_id = id;
+    abort.pid = pid;
+    abort.size = 16_MiB;
+    ASSERT_TRUE(link.Notify(protocol::Message(abort)).ok());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<FaultScheduler> fault_;
+};
+
+TEST_F(WireInteropTest, TwoBinaryCapablePeersUpgrade) {
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto link = SocketSchedulerLink::Connect(
+      fault_->container_socket_path("c1"), FastOptions("c1", 7));
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ((*link)->wire_codec_name(), "binary");
+  ExpectAllocWorks(**link, "c1", 7);
+}
+
+TEST_F(WireInteropTest, BinaryLinkAgainstJsonOnlyDaemonFallsBack) {
+  // The daemon models a pre-binary build: it parses the hello fine (the
+  // advertisement is just an extra key) but never accepts the upgrade.
+  fault_->options().enable_binary = false;
+  ASSERT_TRUE(fault_->Restart().ok());
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto link = SocketSchedulerLink::Connect(
+      fault_->container_socket_path("c1"), FastOptions("c1", 7));
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ((*link)->wire_codec_name(), "json");
+  ExpectAllocWorks(**link, "c1", 7);
+}
+
+TEST_F(WireInteropTest, JsonOnlyLinkAgainstBinaryDaemonStaysJson) {
+  // The link models an old wrapper: it never advertises, so the daemon —
+  // perfectly willing to speak binary — keeps answering in JSON.
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto options = FastOptions("c1", 7);
+  options.enable_binary = false;
+  auto link = SocketSchedulerLink::Connect(
+      fault_->container_socket_path("c1"), std::move(options));
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ((*link)->wire_codec_name(), "json");
+  ExpectAllocWorks(**link, "c1", 7);
+}
+
+TEST_F(WireInteropTest, LegacyConnectNeverNegotiates) {
+  // The pre-handshake connect path (no container_id, no hello) is the
+  // oldest peer of all: pure JSON, id-less-capable, untouched.
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto link =
+      SocketSchedulerLink::Connect(fault_->container_socket_path("c1"));
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ((*link)->wire_codec_name(), "json");
+  ExpectAllocWorks(**link, "c1", 7);
+}
+
+TEST_F(WireInteropTest, RawJsonPeerSeesOnlyJsonBytes) {
+  // An old wrapper speaks raw id-less JSON frames with no handshake at all.
+  // Every reply must come back as JSON — the daemon may only switch a
+  // connection that explicitly negotiated.
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto client =
+      ipc::MessageClient::ConnectUnix(fault_->container_socket_path("c1"));
+  ASSERT_TRUE(client.ok());
+
+  protocol::MemGetInfoRequest info;
+  info.container_id = "c1";
+  info.pid = 3;
+  ASSERT_TRUE(
+      (*client)
+          ->SendFrame(protocol::EncodePayload(protocol::json_codec(),
+                                              protocol::Message(info)))
+          .ok());
+  auto raw = (*client)->RecvFrame();
+  ASSERT_TRUE(raw.ok());
+  ASSERT_FALSE(raw->empty());
+  EXPECT_EQ(raw->front(), '{') << *raw;
+  auto reply = protocol::Expect<protocol::MemInfoReply>(
+      protocol::DecodePayload(*raw));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->total, 1_GiB);
+}
+
+TEST_F(WireInteropTest, HandshakeRepliesRideJsonThenTrafficSwitches) {
+  // The upgrade takes effect strictly *after* the handshake exchange: the
+  // hello reply itself arrives in JSON (the encoding the hello was sent
+  // in), and only subsequent replies are binary. A raw client pins the
+  // actual bytes.
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto client =
+      ipc::MessageClient::ConnectUnix(fault_->container_socket_path("c1"));
+  ASSERT_TRUE(client.ok());
+
+  protocol::Hello hello;
+  hello.container_id = "c1";
+  hello.pid = 5;
+  hello.binary = true;
+  ASSERT_TRUE((*client)
+                  ->SendFrame(protocol::EncodePayload(
+                      protocol::json_codec(), protocol::Message(hello),
+                      /*req_id=*/1))
+                  .ok());
+  auto raw = (*client)->RecvFrame();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->front(), '{') << "hello reply must ride JSON: " << *raw;
+  auto accepted =
+      protocol::Expect<protocol::HelloReply>(protocol::DecodePayload(*raw));
+  ASSERT_TRUE(accepted.ok() && accepted->ok);
+  EXPECT_TRUE(accepted->binary);
+
+  // From here on the daemon answers this connection in binary.
+  ASSERT_TRUE((*client)
+                  ->SendFrame(protocol::EncodePayload(
+                      protocol::binary_codec(),
+                      protocol::Message(protocol::Ping{}), /*req_id=*/2))
+                  .ok());
+  raw = (*client)->RecvFrame();
+  ASSERT_TRUE(raw.ok());
+  ASSERT_FALSE(raw->empty());
+  EXPECT_EQ(static_cast<unsigned char>(raw->front()), protocol::kBinaryMagic);
+  EXPECT_EQ(protocol::PeekPayloadReqId(*raw), protocol::ReqId{2});
+  auto pong = protocol::Expect<protocol::Pong>(protocol::DecodePayload(*raw));
+  EXPECT_TRUE(pong.ok()) << pong.status().ToString();
+}
+
+TEST_F(WireInteropTest, ReconnectRenegotiatesOntoJsonOnlyDaemon) {
+  // A binary connection dies; the daemon that comes back is JSON-only. The
+  // reattach must downgrade the link — and the idempotent call replayed
+  // across the outage must still get its answer, on the new encoding.
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto link = SocketSchedulerLink::Connect(
+      fault_->container_socket_path("c1"), FastOptions("c1", 7));
+  ASSERT_TRUE(link.ok());
+  ASSERT_EQ((*link)->wire_codec_name(), "binary");
+
+  fault_->Down();
+  // In flight while the daemon is dark: replayable, so its future survives
+  // the outage and resolves on the downgraded connection.
+  protocol::MemGetInfoRequest info;
+  info.container_id = "c1";
+  info.pid = 7;
+  auto pending = (*link)->AsyncCall(protocol::Message(info));
+
+  fault_->options().enable_binary = false;
+  ASSERT_TRUE(fault_->Up().ok());
+
+  auto reply = protocol::Expect<protocol::MemInfoReply>(pending.get());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->total, 1_GiB);
+  EXPECT_EQ((*link)->wire_codec_name(), "json");
+  EXPECT_GE((*link)->reconnect_count(), 1u);
+  ExpectAllocWorks(**link, "c1", 7);
+}
+
+TEST_F(WireInteropTest, ReconnectUpgradesOntoBinaryCapableDaemon) {
+  // The reverse migration: a wrapper that met a JSON-only daemon keeps
+  // advertising on every reattach, so replacing the daemon with a
+  // binary-capable build upgrades the wire without touching the wrapper.
+  fault_->options().enable_binary = false;
+  ASSERT_TRUE(fault_->Restart().ok());
+  ASSERT_TRUE(Register("c1", 1_GiB).ok());
+  auto link = SocketSchedulerLink::Connect(
+      fault_->container_socket_path("c1"), FastOptions("c1", 7));
+  ASSERT_TRUE(link.ok());
+  ASSERT_EQ((*link)->wire_codec_name(), "json");
+
+  const std::uint64_t reconnects_before = (*link)->reconnect_count();
+  fault_->Down();
+  fault_->options().enable_binary = true;
+  ASSERT_TRUE(fault_->Up().ok());
+
+  // connected() alone is not enough: a fast Down/Up can finish before the
+  // link's reader even notices the EOF, so wait for the reattach itself.
+  ASSERT_TRUE(WaitUntil([&] {
+    return (*link)->reconnect_count() > reconnects_before &&
+           (*link)->connected();
+  }));
+  EXPECT_EQ((*link)->wire_codec_name(), "binary");
+  ExpectAllocWorks(**link, "c1", 7);
+}
+
+}  // namespace
+}  // namespace convgpu

@@ -16,6 +16,15 @@
 #                  replay paths, RestoreProcess reconciliation) under BOTH
 #                  TSan and ASan; the fast loop for work on the reconnect
 #                  state machine. Subset of legs 4+5.
+#   9. codec     — the wire-encoding suites (codec property tests, binary/
+#                  JSON interop and negotiation, protocol round trips)
+#                  under BOTH TSan and ASan; the fast loop for work on
+#                  codec.cc and the handshake. Subset of legs 4+5.
+#
+# The gcc leg additionally runs the codec microbenchmark and the decode-
+# fuzzer seed corpus as must-complete smoke: the microbench enforces the
+# zero-allocation steady-state encode contract (exits nonzero on
+# regression), the fuzzer replays its deterministic corpus.
 #
 # Clang legs are advisory on machines without clang; set CONVGPU_REQUIRE_CLANG=1
 # to turn those skips into failures (CI with clang installed should do this).
@@ -60,8 +69,14 @@ build_and_test() {  # dir cmake-extra-args...
 }
 
 leg_gcc() {
-  note "leg: gcc (default toolchain, -Werror, full suite)"
-  run_leg gcc build_and_test build-gcc -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  note "leg: gcc (default toolchain, -Werror, full suite + codec smoke)"
+  run_leg gcc gcc_impl
+}
+
+gcc_impl() {
+  build_and_test build-gcc -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    "${ROOT}/build-gcc/bench/codec_microbench" --benchmark_min_time=0.05 &&
+    "${ROOT}/build-gcc/tools/fuzz_decode"
 }
 
 leg_tidy() {
@@ -175,6 +190,36 @@ reconnect_asan_impl() {
             -R "${RECONNECT_FILTER}"
 }
 
+# CodecTest/CodecPropertyTest (codec.cc), WireInterop (negotiation and
+# old-peer fallback), plus the protocol round-trip suites both encodings
+# must agree with.
+CODEC_FILTER='Codec|WireInterop|Protocol'
+
+leg_codec() {
+  note "leg: wire-encoding suites under TSan + ASan"
+  run_leg codec-tsan codec_tsan_impl
+  run_leg codec-asan codec_asan_impl
+}
+
+codec_tsan_impl() {
+  cmake -B "${ROOT}/build-tsan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCONVGPU_SANITIZE=thread &&
+    cmake --build "${ROOT}/build-tsan" -j "${JOBS}" &&
+    TSAN_OPTIONS="suppressions=${ROOT}/tools/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+            -R "${CODEC_FILTER}"
+}
+
+codec_asan_impl() {
+  cmake -B "${ROOT}/build-asan" -S "${ROOT}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCONVGPU_SANITIZE=address,undefined &&
+    cmake --build "${ROOT}/build-asan" -j "${JOBS}" &&
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+      ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}" \
+            -R "${CODEC_FILTER}"
+}
+
 leg_format() {
   note "leg: clang-format (dry run, tracked sources)"
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -203,6 +248,7 @@ for leg in "${LEGS[@]}"; do
     asan) leg_asan ;;
     pipelining) leg_pipelining ;;
     reconnect) leg_reconnect ;;
+    codec) leg_codec ;;
     format) leg_format ;;
     *) echo "unknown leg: ${leg}"; FAIL+=("${leg}") ;;
   esac

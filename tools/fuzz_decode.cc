@@ -1,0 +1,134 @@
+// Fuzz target for the wire-payload decode path (codec.h).
+//
+// Feeds arbitrary bytes through exactly what the daemon and the link run
+// on every received frame: PeekPayloadReqId + DecodePayload (which sniffs
+// the encoding, so one target covers BOTH codecs — JSON documents exercise
+// JsonCodec, payloads starting with kBinaryMagic exercise BinaryCodec).
+// The contract under fuzz: never crash, never hang, never read out of
+// bounds, and report failures only as kInvalidArgument.
+//
+// Two build modes:
+//  * -DCONVGPU_FUZZ=ON (clang only): a libFuzzer binary — run it with a
+//    corpus directory, e.g. `fuzz_decode corpus/ -max_total_time=60`.
+//  * default: a standalone regression binary whose main() replays a
+//    deterministic seed corpus (valid frames in both encodings, truncations,
+//    bit flips, random garbage) — cheap enough for every CI run.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "convgpu/codec.h"
+#include "convgpu/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  (void)convgpu::protocol::PeekPayloadReqId(payload);
+  auto decoded = convgpu::protocol::DecodePayload(payload);
+  if (!decoded.ok() &&
+      decoded.status().code() != convgpu::StatusCode::kInvalidArgument) {
+    __builtin_trap();  // decode failures must be typed kInvalidArgument
+  }
+  return 0;
+}
+
+#if !defined(CONVGPU_FUZZ_LIBFUZZER)
+
+// Standalone mode: replay a deterministic corpus derived from real frames.
+#include "common/rng.h"
+
+namespace {
+
+void Feed(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace convgpu;
+  using namespace convgpu::protocol;
+
+  std::size_t cases = 0;
+  Rng rng(0xBAD5EED);
+
+  // Hand-picked edges.
+  for (const std::string& seed :
+       {std::string(), std::string("{}"), std::string("null"),
+        std::string("{\"type\":\"ping\"}"),
+        std::string("{\"type\":\"nope\"}"),
+        std::string(1, static_cast<char>(kBinaryMagic)),
+        std::string(2, static_cast<char>(kBinaryMagic)),
+        std::string("\xBF\x0B\x00", 3),  // well-formed binary ping
+        std::string("\xBF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF", 11)}) {
+    Feed(seed);
+    ++cases;
+  }
+
+  // Valid frames in both encodings, then mangled: the same recipe as the
+  // protocol property tests, so every corpus member here is reachable wire
+  // state, not synthetic noise.
+  auto mangle = [&](const std::string& bytes) {
+    Feed(bytes);
+    ++cases;
+    for (const std::size_t cut :
+         {std::size_t{0}, bytes.size() / 4, bytes.size() / 2,
+          bytes.size() - 1}) {
+      Feed(bytes.substr(0, cut));
+      ++cases;
+    }
+    for (int flip = 0; flip < 16; ++flip) {
+      std::string mutated = bytes;
+      const std::size_t pos = rng.UniformBelow(mutated.size());
+      mutated[pos] =
+          static_cast<char>(static_cast<unsigned char>(mutated[pos]) ^
+                            (1u << rng.UniformBelow(8)));
+      Feed(mutated);
+      ++cases;
+    }
+  };
+
+  protocol::AllocRequest request;
+  request.container_id = "fuzz";
+  request.pid = 1;
+  request.size = 1 << 20;
+  request.api = "cudaMalloc";
+  protocol::StatsReply stats;
+  stats.capacity = 5ll << 30;
+  ContainerStatsWire c;
+  c.container_id = "fuzz";
+  c.total_suspended_sec = 1.25;
+  stats.containers.push_back(c);
+  protocol::Reattach reattach;
+  reattach.container_id = "fuzz";
+  reattach.allocations.push_back({0xA0000, 1 << 20});
+  reattach.binary = true;
+  for (const Message& message :
+       {Message(request), Message(stats), Message(reattach),
+        Message(Ping{})}) {
+    for (const Codec* codec : {&json_codec(), &binary_codec()}) {
+      mangle(EncodePayload(*codec, message, /*req_id=*/77));
+      mangle(EncodePayload(*codec, message));
+    }
+  }
+
+  // Pure-random binary-tagged payloads: the decoder's bounds checks alone.
+  for (int i = 0; i < 2000; ++i) {
+    std::string garbage(1 + rng.UniformBelow(128), '\0');
+    garbage[0] = static_cast<char>(kBinaryMagic);
+    for (std::size_t b = 1; b < garbage.size(); ++b) {
+      garbage[b] = static_cast<char>(rng.UniformBelow(256));
+    }
+    Feed(garbage);
+    ++cases;
+  }
+
+  std::printf("fuzz_decode: replayed %zu corpus cases, no crashes\n", cases);
+  return 0;
+}
+
+#endif  // !CONVGPU_FUZZ_LIBFUZZER
